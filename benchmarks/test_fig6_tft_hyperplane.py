@@ -1,0 +1,68 @@
+"""Figure 6: TFT magnitude and phase hyperplane of the output buffer.
+
+The paper plots the state-dependent transfer function of the buffer as a
+function of the state (x = u(t), spanning 0.4 V to 1.4 V) and frequency
+(up to 10 GHz): the gain is highest and flat at low frequency in the middle of
+the state range, collapses toward the saturated edges of the state range, and
+rolls off with several hundred degrees of accumulated phase at high frequency.
+This module regenerates that surface and checks those qualitative features;
+the benchmark measures the cost of the TFT transform itself.
+"""
+
+import numpy as np
+
+from repro.tft import extract_tft, default_frequency_grid
+
+
+def test_state_axis_covers_paper_range(buffer_tft):
+    states = buffer_tft.state_axis()
+    assert states.min() <= 0.45
+    assert states.max() >= 1.35
+
+
+def test_about_100_training_samples(buffer_tft):
+    assert 80 <= buffer_tft.n_states <= 120
+
+
+def test_low_frequency_gain_peaks_at_centre_of_state_range(buffer_tft):
+    ordered = buffer_tft.sorted_by_state()
+    dc_gain = np.abs(ordered.siso_dc())
+    states = ordered.state_axis()
+    peak_state = states[int(np.argmax(dc_gain))]
+    assert abs(peak_state - 0.9) < 0.1
+    assert dc_gain.max() > 1.5            # DC gain ~2 at the quiescent point
+
+
+def test_gain_collapses_in_saturation(buffer_tft):
+    ordered = buffer_tft.sorted_by_state()
+    dc_gain = np.abs(ordered.siso_dc())
+    edge_gain = max(dc_gain[0], dc_gain[-1])
+    assert edge_gain < 0.05 * dc_gain.max()
+
+
+def test_gain_rolls_off_at_high_frequency(buffer_tft):
+    gain_db = buffer_tft.gain_db()
+    centre = int(np.argmax(np.abs(buffer_tft.siso_dc())))
+    # ~3-4 GHz bandwidth: at 10 GHz the gain has clearly left the passband.
+    assert gain_db[centre, -1] < gain_db[centre, 0] - 8.0
+
+
+def test_phase_accumulates_hundreds_of_degrees(buffer_tft):
+    phase = buffer_tft.phase_deg()
+    centre = int(np.argmax(np.abs(buffer_tft.siso_dc())))
+    # Multiple cascaded poles: well over a quarter turn of accumulated phase
+    # by 10 GHz (the paper's surface reaches several hundred degrees at the
+    # upper end of its frequency axis).
+    assert phase[centre, -1] < -150.0
+
+
+def test_dc_response_is_real(buffer_tft):
+    assert np.max(np.abs(buffer_tft.siso_dc().imag)) < 1e-9
+
+
+def test_benchmark_tft_transform(benchmark, buffer_training):
+    """Cost of turning ~100 Jacobian snapshots into the TFT hyperplane."""
+    trajectory = buffer_training["trajectory"]
+    grid = default_frequency_grid(1.0, 10e9, 4)
+    result = benchmark(lambda: extract_tft(trajectory, grid, max_snapshots=110))
+    assert result.n_states >= 80

@@ -1,0 +1,26 @@
+"""Error metrics, speed-up measurement and report tables."""
+
+from .errors import (
+    SurfaceErrorReport,
+    compare_surfaces,
+    db,
+    gain_error_db,
+    phase_error_deg,
+    surface_rmse_db,
+    time_domain_rmse,
+)
+from .report import ComparisonTable, ModelComparisonRow, ascii_table, measure_speedup
+
+__all__ = [
+    "db",
+    "gain_error_db",
+    "phase_error_deg",
+    "surface_rmse_db",
+    "time_domain_rmse",
+    "compare_surfaces",
+    "SurfaceErrorReport",
+    "ComparisonTable",
+    "ModelComparisonRow",
+    "ascii_table",
+    "measure_speedup",
+]

@@ -1,0 +1,114 @@
+"""Error metrics used by the paper's evaluation (Figs. 7-9, Table I).
+
+The paper quotes three figures of merit:
+
+* the *hyperplane* RMSE of the fitted model against the TFT data, expressed in
+  dB for the gain and in degrees for the phase (Figs. 7 and 8),
+* the time-domain RMSE against the SPICE reference for the bit-pattern test
+  (Fig. 9 / Table I),
+* and the frequency-domain RMSE column of Table I (again in dB).
+
+The helpers here compute those quantities and the full error *contours* over
+the state/frequency plane so the figures can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "db",
+    "gain_error_db",
+    "phase_error_deg",
+    "surface_rmse_db",
+    "time_domain_rmse",
+    "SurfaceErrorReport",
+    "compare_surfaces",
+]
+
+_FLOOR = 1e-300
+
+
+def db(values: np.ndarray | float) -> np.ndarray | float:
+    """Magnitude in decibel, ``20*log10(|x|)`` with a floor to avoid -inf."""
+    return 20.0 * np.log10(np.maximum(np.abs(values), _FLOOR))
+
+
+def gain_error_db(reference: np.ndarray, model: np.ndarray) -> np.ndarray:
+    """Absolute complex deviation expressed in dB (the paper's gain error).
+
+    The paper's Fig. 7/8 error contours plot ``20 log10 |T_model - T_data|``;
+    a value of -60 dB therefore means an absolute deviation of 1e-3.
+    """
+    return db(np.asarray(model) - np.asarray(reference))
+
+
+def phase_error_deg(reference: np.ndarray, model: np.ndarray) -> np.ndarray:
+    """Phase deviation in degrees, wrapped to (-180, 180]."""
+    delta = np.angle(np.asarray(model)) - np.angle(np.asarray(reference))
+    return np.degrees((delta + np.pi) % (2.0 * np.pi) - np.pi)
+
+
+def surface_rmse_db(reference: np.ndarray, model: np.ndarray) -> float:
+    """RMS of the absolute deviation over a surface, expressed in dB."""
+    deviation = np.asarray(model) - np.asarray(reference)
+    return float(db(np.sqrt(np.mean(np.abs(deviation) ** 2))))
+
+
+def time_domain_rmse(reference: np.ndarray, model: np.ndarray) -> float:
+    """Plain RMSE between two sampled waveforms (the paper's Table I metric)."""
+    reference = np.asarray(reference, dtype=float).ravel()
+    model = np.asarray(model, dtype=float).ravel()
+    if reference.shape != model.shape:
+        raise ValueError("waveforms must have the same length")
+    return float(np.sqrt(np.mean((reference - model) ** 2)))
+
+
+@dataclass
+class SurfaceErrorReport:
+    """Error contours of a fitted model against TFT reference data."""
+
+    states: np.ndarray
+    frequencies: np.ndarray
+    gain_error: np.ndarray          # dB, shape (K, L)
+    phase_error: np.ndarray         # degrees, shape (K, L)
+    max_gain_error_db: float
+    max_phase_error_deg: float
+    rms_gain_error_db: float
+    relative_rms: float
+
+    def worst_region(self) -> tuple[float, float]:
+        """(state, frequency) where the gain error peaks."""
+        k, l = np.unravel_index(int(np.argmax(self.gain_error)), self.gain_error.shape)
+        return float(self.states[k]), float(self.frequencies[l])
+
+    def summary(self) -> str:
+        return (f"max gain error {self.max_gain_error_db:.1f} dB, "
+                f"max phase error {self.max_phase_error_deg:.0f} deg, "
+                f"RMS gain error {self.rms_gain_error_db:.1f} dB, "
+                f"relative RMS {self.relative_rms:.2e}")
+
+
+def compare_surfaces(reference: np.ndarray, model: np.ndarray,
+                     states: np.ndarray, frequencies: np.ndarray) -> SurfaceErrorReport:
+    """Full Fig. 7/8-style comparison of a model surface against TFT data."""
+    reference = np.asarray(reference, dtype=complex)
+    model = np.asarray(model, dtype=complex)
+    if reference.shape != model.shape:
+        raise ValueError("surfaces must have the same shape")
+    gain_err = gain_error_db(reference, model)
+    phase_err = phase_error_deg(reference, model)
+    scale = float(np.sqrt(np.mean(np.abs(reference) ** 2))) or 1.0
+    deviation = float(np.sqrt(np.mean(np.abs(model - reference) ** 2)))
+    return SurfaceErrorReport(
+        states=np.asarray(states, dtype=float),
+        frequencies=np.asarray(frequencies, dtype=float),
+        gain_error=gain_err,
+        phase_error=phase_err,
+        max_gain_error_db=float(gain_err.max()),
+        max_phase_error_deg=float(np.abs(phase_err).max()),
+        rms_gain_error_db=surface_rmse_db(reference, model),
+        relative_rms=deviation / scale,
+    )

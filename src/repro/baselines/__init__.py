@@ -1,0 +1,26 @@
+"""Baseline residue-regression methods the paper compares against."""
+
+from .caffeine import (
+    BasisTerm,
+    CaffeineExtractionResult,
+    CaffeineFunction,
+    CaffeineIntegral,
+    CaffeineOptions,
+    default_basis_library,
+    extract_caffeine_model,
+    fit_caffeine,
+)
+from .polynomial import PolynomialFunction, fit_polynomial
+
+__all__ = [
+    "BasisTerm",
+    "CaffeineFunction",
+    "CaffeineIntegral",
+    "CaffeineOptions",
+    "default_basis_library",
+    "fit_caffeine",
+    "extract_caffeine_model",
+    "CaffeineExtractionResult",
+    "PolynomialFunction",
+    "fit_polynomial",
+]

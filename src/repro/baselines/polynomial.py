@@ -1,0 +1,76 @@
+"""Plain polynomial residue regression — a sanity baseline below CAFFEINE."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import FittingError
+
+__all__ = ["PolynomialFunction", "fit_polynomial"]
+
+
+@dataclass
+class PolynomialFunction:
+    """``f(x) = sum_k coefficients[k] * ((x - center)/scale)**k`` (complex coefficients)."""
+
+    coefficients: np.ndarray
+    center: float = 0.0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.coefficients = np.asarray(self.coefficients, dtype=complex)
+
+    def _z(self, x: np.ndarray | float) -> np.ndarray:
+        return (np.asarray(x, dtype=float) - self.center) / self.scale
+
+    def __call__(self, x: np.ndarray | float) -> np.ndarray | complex:
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        if x_arr.ndim == 2:
+            x_arr = x_arr[:, 0]
+        z = self._z(x_arr)
+        value = np.zeros(z.shape, dtype=complex)
+        for k, c in enumerate(self.coefficients):
+            value = value + c * z ** k
+        if np.isscalar(x):
+            return complex(value[0])
+        return value
+
+    @property
+    def degree(self) -> int:
+        return int(self.coefficients.size - 1)
+
+    def antiderivative(self) -> "PolynomialFunction":
+        """Exact antiderivative with respect to ``x`` (degree increases by one)."""
+        new = np.zeros(self.coefficients.size + 1, dtype=complex)
+        for k, c in enumerate(self.coefficients):
+            new[k + 1] = c * self.scale / (k + 1)
+        return PolynomialFunction(new, self.center, self.scale)
+
+    def with_value_at(self, x0: float, value: complex) -> "PolynomialFunction":
+        shifted = self.coefficients.copy()
+        shifted[0] += value - complex(self(float(x0)))
+        return PolynomialFunction(shifted, self.center, self.scale)
+
+    def to_expression(self, precision: int = 6) -> str:
+        z = f"((x - {self.center:.{precision}g})/{self.scale:.{precision}g})"
+        return " + ".join(f"({c.real:.{precision}g}{c.imag:+.{precision}g}j)*{z}**{k}"
+                          for k, c in enumerate(self.coefficients))
+
+
+def fit_polynomial(states: np.ndarray, samples: np.ndarray, degree: int = 6
+                   ) -> PolynomialFunction:
+    """Least-squares polynomial fit of a (possibly complex) state trajectory."""
+    x = np.asarray(states, dtype=float).ravel()
+    y = np.asarray(samples, dtype=complex).ravel()
+    if x.size != y.size:
+        raise FittingError("states and samples must have the same length")
+    if degree < 0 or x.size <= degree:
+        raise FittingError("polynomial degree must be non-negative and below the sample count")
+    center = float(np.mean(x))
+    scale = float(np.std(x)) or 1.0
+    z = (x - center) / scale
+    matrix = np.column_stack([z ** k for k in range(degree + 1)])
+    solution, *_ = np.linalg.lstsq(matrix, y, rcond=None)
+    return PolynomialFunction(solution, center, scale)

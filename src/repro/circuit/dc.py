@@ -1,0 +1,139 @@
+"""DC operating-point analysis with gmin and source stepping continuation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, SingularMatrixError
+from .mna import MNASystem
+from .newton import NewtonOptions, NewtonResult, newton_solve
+
+__all__ = ["DCOptions", "DCResult", "dc_operating_point"]
+
+
+@dataclass
+class DCOptions:
+    """Options controlling the DC operating-point search."""
+
+    gmin: float = 1e-12
+    newton: NewtonOptions = field(default_factory=NewtonOptions)
+    #: gmin-stepping ladder tried when plain Newton fails (largest first).
+    gmin_steps: tuple[float, ...] = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-10, 1e-12)
+    #: Number of source-stepping ramp points tried as the last resort.
+    source_steps: int = 20
+
+
+@dataclass
+class DCResult:
+    """DC operating point of a circuit."""
+
+    solution: np.ndarray
+    outputs: np.ndarray
+    iterations: int
+    strategy: str
+    residual_norm: float
+
+    def voltage(self, system: MNASystem, node: str) -> float:
+        """Node voltage by name (ground returns 0)."""
+        index = system.node_index[node]
+        return 0.0 if index < 0 else float(self.solution[index])
+
+
+def _solve_fixed(system: MNASystem, excitation: np.ndarray, gmin: float,
+                 guess: np.ndarray, newton_options: NewtonOptions) -> NewtonResult:
+    """Newton solve of ``i(v) + gmin*v_nodes - excitation = 0``."""
+    n_nodes = system.n_nodes
+
+    def residual_and_jacobian(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        i_vec, g_mat = system.eval_static(v)
+        residual = i_vec - excitation
+        if gmin:
+            residual[:n_nodes] += gmin * v[:n_nodes]
+            g_mat = g_mat.copy()
+            g_mat[np.arange(n_nodes), np.arange(n_nodes)] += gmin
+        return residual, g_mat
+
+    return newton_solve(residual_and_jacobian, guess, newton_options)
+
+
+def dc_operating_point(system: MNASystem, t: float = 0.0,
+                       options: DCOptions | None = None,
+                       initial_guess: np.ndarray | None = None) -> DCResult:
+    """Compute the DC operating point of the circuit at time ``t``.
+
+    The excitation is evaluated at ``t`` (normally 0), so sources described by
+    waveforms contribute their value at that instant.  Three strategies are
+    tried in order: plain Newton, gmin stepping and source stepping.  The
+    strategy that produced the result is recorded in :attr:`DCResult.strategy`
+    so tests and reports can assert on it.
+    """
+    opts = options or DCOptions()
+    excitation = system.excitation(t)
+    guess = (np.array(initial_guess, dtype=float, copy=True)
+             if initial_guess is not None else system.zero_state())
+
+    total_iterations = 0
+
+    # Strategy 1: plain Newton from the supplied guess.
+    try:
+        result = _solve_fixed(system, excitation, opts.gmin, guess, opts.newton)
+        total_iterations += result.iterations
+        if result.converged:
+            return _package(system, result, total_iterations, "newton")
+    except SingularMatrixError:
+        pass
+
+    # Strategy 2: gmin stepping.
+    stepping_guess = guess
+    converged_chain = True
+    for gmin in opts.gmin_steps:
+        try:
+            result = _solve_fixed(system, excitation, gmin, stepping_guess, opts.newton)
+        except SingularMatrixError:
+            converged_chain = False
+            break
+        total_iterations += result.iterations
+        if not result.converged:
+            converged_chain = False
+            break
+        stepping_guess = result.solution
+    if converged_chain:
+        final_gmin = min(opts.gmin, opts.gmin_steps[-1])
+        result = _solve_fixed(system, excitation, final_gmin, stepping_guess, opts.newton)
+        total_iterations += result.iterations
+        if result.converged:
+            return _package(system, result, total_iterations, "gmin-stepping")
+
+    # Strategy 3: source stepping.
+    stepping_guess = system.zero_state()
+    result = None
+    for k in range(1, opts.source_steps + 1):
+        alpha = k / opts.source_steps
+        try:
+            result = _solve_fixed(system, alpha * excitation, opts.gmin,
+                                  stepping_guess, opts.newton)
+        except SingularMatrixError as exc:
+            raise ConvergenceError(
+                f"DC analysis of {system.circuit.name!r} failed: singular matrix during "
+                f"source stepping at alpha={alpha:.2f}") from exc
+        total_iterations += result.iterations
+        if not result.converged:
+            raise ConvergenceError(
+                f"DC analysis of {system.circuit.name!r} failed during source stepping",
+                iterations=total_iterations, residual=result.residual_norm)
+        stepping_guess = result.solution
+    assert result is not None
+    return _package(system, result, total_iterations, "source-stepping")
+
+
+def _package(system: MNASystem, result: NewtonResult, iterations: int,
+             strategy: str) -> DCResult:
+    return DCResult(
+        solution=result.solution,
+        outputs=system.output(result.solution),
+        iterations=iterations,
+        strategy=strategy,
+        residual_norm=result.residual_norm,
+    )

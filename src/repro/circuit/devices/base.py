@@ -1,0 +1,149 @@
+"""Device base classes and stamping helpers for the MNA simulator.
+
+Every circuit element derives from :class:`Device` and contributes to the
+modified-nodal-analysis (MNA) description of the circuit
+
+.. math::
+
+    \\frac{d}{dt} q(v) + i(v) = B\\,u(t) + b_{fixed}(t), \\qquad y = D^T v
+
+by *stamping* into dense NumPy arrays:
+
+* ``i``/``G`` — static (resistive) currents and their Jacobian ``G = di/dv``,
+* ``q``/``C`` — charges/fluxes and their Jacobian ``C = dq/dv``,
+* ``b`` — time-dependent excitations of non-input sources,
+* ``B`` — incidence column(s) of the designated circuit inputs.
+
+Node indices follow the convention that the ground node has index ``-1`` and
+is simply skipped when stamping; all other unknowns use indices
+``0 .. n_unknowns-1`` (node voltages first, then branch currents).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ...exceptions import CircuitError
+
+__all__ = ["Device", "TwoTerminal", "add_at", "add_jac"]
+
+GROUND = -1
+
+
+def add_at(vector: np.ndarray, index: int, value: float) -> None:
+    """Add ``value`` to ``vector[index]`` unless the index is the ground node."""
+    if index >= 0:
+        vector[index] += value
+
+
+def add_jac(matrix: np.ndarray, row: int, col: int, value: float) -> None:
+    """Add ``value`` to ``matrix[row, col]`` unless either index is ground."""
+    if row >= 0 and col >= 0:
+        matrix[row, col] += value
+
+
+class Device:
+    """Base class for all circuit elements.
+
+    Parameters
+    ----------
+    name:
+        Unique element name within the circuit (SPICE style, e.g. ``"R1"``).
+    nodes:
+        Node *names* the element connects to, in the element's own terminal
+        order.
+    """
+
+    #: Number of extra branch-current unknowns this device introduces.
+    n_branch = 0
+
+    def __init__(self, name: str, nodes: Sequence[str]) -> None:
+        if not name:
+            raise CircuitError("device name must be a non-empty string")
+        self.name = str(name)
+        self.nodes = tuple(str(n) for n in nodes)
+        # Resolved unknown indices, filled in by :meth:`bind`.
+        self._node_index: tuple[int, ...] = ()
+        self._branch_index: tuple[int, ...] = ()
+
+    # ------------------------------------------------------------------ binding
+    def bind(self, node_map: Mapping[str, int], branch_start: int) -> None:
+        """Resolve node names to unknown indices.
+
+        ``branch_start`` is the index of the first branch unknown allocated to
+        this device (only meaningful when :attr:`n_branch` is non-zero).
+        """
+        try:
+            self._node_index = tuple(node_map[n] for n in self.nodes)
+        except KeyError as exc:  # pragma: no cover - guarded by Circuit
+            raise CircuitError(f"{self.name}: unknown node {exc}") from exc
+        self._branch_index = tuple(range(branch_start, branch_start + self.n_branch))
+
+    @property
+    def node_index(self) -> tuple[int, ...]:
+        if not self._node_index and self.nodes:
+            raise CircuitError(f"{self.name}: device has not been bound to a circuit")
+        return self._node_index
+
+    @property
+    def branch_index(self) -> tuple[int, ...]:
+        return self._branch_index
+
+    # ---------------------------------------------------------------- stamping
+    def stamp_static(self, v: np.ndarray, i_out: np.ndarray, g_out: np.ndarray) -> None:
+        """Add the device's static currents ``i(v)`` and Jacobian ``di/dv``."""
+
+    def stamp_dynamic(self, v: np.ndarray, q_out: np.ndarray, c_out: np.ndarray) -> None:
+        """Add the device's charges/fluxes ``q(v)`` and Jacobian ``dq/dv``."""
+
+    def stamp_rhs(self, t: float, b_out: np.ndarray) -> None:
+        """Add the device's independent excitation at time ``t`` to ``b``."""
+
+    # --------------------------------------------------------------- utilities
+    def voltage(self, v: np.ndarray, terminal_a: int, terminal_b: int) -> float:
+        """Voltage between two of the device's terminals given the solution ``v``."""
+        idx = self.node_index
+        va = v[idx[terminal_a]] if idx[terminal_a] >= 0 else 0.0
+        vb = v[idx[terminal_b]] if idx[terminal_b] >= 0 else 0.0
+        return float(va - vb)
+
+    def is_nonlinear(self) -> bool:
+        """Whether the device has state-dependent Jacobians (default: linear)."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        nodes = ",".join(self.nodes)
+        return f"<{type(self).__name__} {self.name} ({nodes})>"
+
+
+class TwoTerminal(Device):
+    """Convenience base class for elements with a positive and negative node."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str) -> None:
+        super().__init__(name, (node_pos, node_neg))
+
+    @property
+    def pos(self) -> int:
+        return self.node_index[0]
+
+    @property
+    def neg(self) -> int:
+        return self.node_index[1]
+
+    def branch_voltage(self, v: np.ndarray) -> float:
+        """Voltage across the element, positive node minus negative node."""
+        return self.voltage(v, 0, 1)
+
+    def stamp_conductance(self, g_out: np.ndarray, g: float) -> None:
+        """Stamp a (possibly incremental) conductance ``g`` between the nodes."""
+        add_jac(g_out, self.pos, self.pos, g)
+        add_jac(g_out, self.neg, self.neg, g)
+        add_jac(g_out, self.pos, self.neg, -g)
+        add_jac(g_out, self.neg, self.pos, -g)
+
+    def stamp_current(self, i_out: np.ndarray, current: float) -> None:
+        """Stamp a current flowing from the positive to the negative node."""
+        add_at(i_out, self.pos, current)
+        add_at(i_out, self.neg, -current)

@@ -1,0 +1,243 @@
+"""Square-law MOSFET with smooth triode/saturation transition.
+
+The paper's demonstrator (a chain of four differential amplifiers in UMC
+0.13 µm CMOS) uses foundry BSIM models inside ELDO.  Foundry model cards are
+proprietary, so this reproduction uses a level-1-style square-law model with
+
+* a smooth-max effective overdrive (no kink at threshold),
+* an EKV-like ``tanh`` interpolation between triode and saturation (no kink at
+  ``v_ds = v_ov``), and
+* channel-length modulation.
+
+The smoothness matters twice: it keeps the transient Newton iterations robust
+and it yields continuously varying Jacobians ``G(k)``, which is precisely the
+state dependence the Transfer Function Trajectory extraction samples.  The
+charge model uses constant gate capacitances derived from the gate area
+(a simplified Meyer model), which is sufficient because the dominant
+nonlinearity of the buffer is the transconductance saturation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import CircuitError
+from .base import Device, add_at, add_jac
+
+__all__ = ["MOSFETParams", "MOSFET", "NMOS", "PMOS"]
+
+
+@dataclass
+class MOSFETParams:
+    """Technology/geometry parameters of the square-law MOSFET.
+
+    The defaults approximate a generic 0.13 µm CMOS process: ``kp`` is the
+    process transconductance (µCox), ``vto`` the threshold voltage, ``lam``
+    the channel-length-modulation coefficient and ``cox`` the gate-oxide
+    capacitance per unit area.
+    """
+
+    width: float = 1e-6
+    length: float = 0.13e-6
+    kp: float = 300e-6
+    vto: float = 0.35
+    lam: float = 0.15
+    cox: float = 8e-3
+    cgs_overlap: float = 0.3e-9   # F per metre of width
+    cgd_overlap: float = 0.3e-9   # F per metre of width
+    cjd: float = 1e-15            # drain junction capacitance (constant)
+    cjs: float = 1e-15            # source junction capacitance (constant)
+    smoothing: float = 5e-3       # overdrive smoothing voltage
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.length <= 0:
+            raise CircuitError("MOSFET width and length must be positive")
+        if self.kp <= 0:
+            raise CircuitError("MOSFET kp must be positive")
+        if self.smoothing <= 0:
+            raise CircuitError("MOSFET smoothing voltage must be positive")
+
+    @property
+    def beta(self) -> float:
+        """Device transconductance factor ``kp * W / L``."""
+        return self.kp * self.width / self.length
+
+    @property
+    def cgs(self) -> float:
+        """Gate-source capacitance: 2/3 of the channel capacitance + overlap."""
+        return (2.0 / 3.0) * self.cox * self.width * self.length + self.cgs_overlap * self.width
+
+    @property
+    def cgd(self) -> float:
+        """Gate-drain capacitance: overlap only (saturation-dominated operation)."""
+        return self.cgd_overlap * self.width
+
+
+def _smooth_max(x: float, delta: float) -> tuple[float, float]:
+    """Smooth approximation of ``max(x, 0)`` and its derivative."""
+    root = math.sqrt(x * x + 4.0 * delta * delta)
+    value = 0.5 * (x + root)
+    derivative = 0.5 * (1.0 + x / root)
+    return value, derivative
+
+
+class MOSFET(Device):
+    """Four-terminal MOSFET; terminal order is ``(drain, gate, source, bulk)``.
+
+    ``polarity`` is ``+1`` for NMOS and ``-1`` for PMOS.  The bulk terminal
+    only receives capacitive stamps (no body effect, no junction diodes); in
+    the provided example circuits the bulk is tied to the source (NMOS) or the
+    supply (PMOS), which the square-law model is consistent with.
+    """
+
+    def __init__(self, name: str, drain: str, gate: str, source: str, bulk: str,
+                 params: MOSFETParams | None = None, polarity: int = 1,
+                 **param_overrides: float) -> None:
+        super().__init__(name, (drain, gate, source, bulk))
+        if polarity not in (+1, -1):
+            raise CircuitError(f"{name}: polarity must be +1 (NMOS) or -1 (PMOS)")
+        if params is None:
+            params = MOSFETParams(**param_overrides)
+        elif param_overrides:
+            raise CircuitError(f"{name}: pass either params or keyword overrides, not both")
+        self.params = params
+        self.polarity = polarity
+
+    def is_nonlinear(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------ model
+    def drain_current(self, vgs: float, vds: float) -> tuple[float, float, float]:
+        """Drain current and small-signal parameters ``(id, gm, gds)``.
+
+        The voltages are the *polarity-normalised* gate-source and
+        drain-source voltages (i.e. already multiplied by ``polarity``);
+        ``vds`` may be negative, in which case drain and source roles are
+        swapped internally and the returned ``gm``/``gds`` refer to the
+        original terminals.
+        """
+        if vds >= 0.0:
+            i_d, gm, gds, gms = self._forward_current(vgs, vds)
+            return i_d, gm, gds
+        # Reverse operation: exchange drain and source.  The physical current
+        # flows source -> drain; derivatives map back to the original nodes.
+        i_r, gm_r, gds_r, gms_r = self._forward_current(vgs - vds, -vds)
+        i_d = -i_r
+        # d(id)/d(vgs) with vgd = vgs - vds held via chain rule:
+        gm = -gm_r
+        gds = gm_r + gds_r + gms_r
+        return i_d, gm, gds
+
+    def _forward_current(self, vgs: float, vds: float) -> tuple[float, float, float, float]:
+        """Square-law current for ``vds >= 0``; returns ``(id, gm, gds, gms)``.
+
+        ``gms`` is the derivative with respect to the source voltage beyond the
+        ``-(gm+gds)`` implied by the differential pair of arguments; it is zero
+        for this model but kept for clarity of the reverse-mode mapping.
+        """
+        p = self.params
+        vov, dvov = _smooth_max(vgs - p.vto, p.smoothing)
+        vdsat = max(vov, p.smoothing)
+        u = vds / vdsat
+        tanh_u = math.tanh(u)
+        sech2 = 1.0 - tanh_u * tanh_u
+        vds_eff = vdsat * tanh_u
+        dveff_dvds = sech2
+        dveff_dvdsat = tanh_u - u * sech2
+        dvdsat_dvgs = dvov if vov > p.smoothing else 0.0
+
+        f = (vov - 0.5 * vds_eff) * vds_eff
+        df_dvdseff = vov - vds_eff
+        df_dvov = vds_eff
+
+        clm = 1.0 + p.lam * vds
+        i_d = p.beta * f * clm
+        di_dvgs = p.beta * (df_dvov * dvov + df_dvdseff * dveff_dvdsat * dvdsat_dvgs) * clm
+        di_dvds = p.beta * df_dvdseff * dveff_dvds * clm + p.beta * f * p.lam
+        return i_d, di_dvgs, di_dvds, 0.0
+
+    def operating_point(self, v: np.ndarray) -> dict[str, float]:
+        """Small-signal quantities at the solution ``v`` (useful for reports)."""
+        vd, vg, vs, _vb = (v[i] if i >= 0 else 0.0 for i in self.node_index)
+        sign = self.polarity
+        vgs = sign * (vg - vs)
+        vds = sign * (vd - vs)
+        i_d, gm, gds = self.drain_current(vgs, vds)
+        return {
+            "id": sign * i_d,
+            "gm": gm,
+            "gds": gds,
+            "vgs": vgs,
+            "vds": vds,
+            "vov": vgs - self.params.vto,
+        }
+
+    # ---------------------------------------------------------------- stamping
+    def stamp_static(self, v: np.ndarray, i_out: np.ndarray, g_out: np.ndarray) -> None:
+        d, g, s, _b = self.node_index
+        vd = v[d] if d >= 0 else 0.0
+        vg = v[g] if g >= 0 else 0.0
+        vs = v[s] if s >= 0 else 0.0
+        sign = self.polarity
+        vgs = sign * (vg - vs)
+        vds = sign * (vd - vs)
+        i_d, gm, gds = self.drain_current(vgs, vds)
+
+        # Physical drain current (flows into the drain terminal for NMOS).
+        current = sign * i_d
+        add_at(i_out, d, current)
+        add_at(i_out, s, -current)
+
+        # Conductance stamps: d(current at drain)/d(node voltages).  The sign
+        # normalisation cancels (sign**2 == 1) so gm/gds stamp identically for
+        # NMOS and PMOS.
+        add_jac(g_out, d, g, gm)
+        add_jac(g_out, d, d, gds)
+        add_jac(g_out, d, s, -(gm + gds))
+        add_jac(g_out, s, g, -gm)
+        add_jac(g_out, s, d, -gds)
+        add_jac(g_out, s, s, gm + gds)
+
+    def stamp_dynamic(self, v: np.ndarray, q_out: np.ndarray, c_out: np.ndarray) -> None:
+        d, g, s, b = self.node_index
+        p = self.params
+        self._stamp_linear_cap(v, q_out, c_out, g, s, p.cgs)
+        self._stamp_linear_cap(v, q_out, c_out, g, d, p.cgd)
+        self._stamp_linear_cap(v, q_out, c_out, d, b, p.cjd)
+        self._stamp_linear_cap(v, q_out, c_out, s, b, p.cjs)
+
+    @staticmethod
+    def _stamp_linear_cap(v: np.ndarray, q_out: np.ndarray, c_out: np.ndarray,
+                          node_a: int, node_b: int, capacitance: float) -> None:
+        if capacitance <= 0.0:
+            return
+        va = v[node_a] if node_a >= 0 else 0.0
+        vb = v[node_b] if node_b >= 0 else 0.0
+        charge = capacitance * (va - vb)
+        add_at(q_out, node_a, charge)
+        add_at(q_out, node_b, -charge)
+        add_jac(c_out, node_a, node_a, capacitance)
+        add_jac(c_out, node_b, node_b, capacitance)
+        add_jac(c_out, node_a, node_b, -capacitance)
+        add_jac(c_out, node_b, node_a, -capacitance)
+
+
+class NMOS(MOSFET):
+    """N-channel MOSFET (``polarity = +1``)."""
+
+    def __init__(self, name: str, drain: str, gate: str, source: str, bulk: str,
+                 params: MOSFETParams | None = None, **param_overrides: float) -> None:
+        super().__init__(name, drain, gate, source, bulk, params=params,
+                         polarity=+1, **param_overrides)
+
+
+class PMOS(MOSFET):
+    """P-channel MOSFET (``polarity = -1``)."""
+
+    def __init__(self, name: str, drain: str, gate: str, source: str, bulk: str,
+                 params: MOSFETParams | None = None, **param_overrides: float) -> None:
+        super().__init__(name, drain, gate, source, bulk, params=params,
+                         polarity=-1, **param_overrides)

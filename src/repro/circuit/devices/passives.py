@@ -1,0 +1,102 @@
+"""Linear passive elements: resistor, capacitor, inductor and lossy variants."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import CircuitError
+from .base import TwoTerminal, add_at, add_jac
+
+__all__ = ["Resistor", "Capacitor", "Inductor"]
+
+
+class Resistor(TwoTerminal):
+    """Linear resistor ``i = (v_pos - v_neg) / resistance``."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, resistance: float) -> None:
+        super().__init__(name, node_pos, node_neg)
+        resistance = float(resistance)
+        if resistance <= 0.0:
+            raise CircuitError(f"{name}: resistance must be positive, got {resistance}")
+        self.resistance = resistance
+
+    @property
+    def conductance(self) -> float:
+        return 1.0 / self.resistance
+
+    def stamp_static(self, v: np.ndarray, i_out: np.ndarray, g_out: np.ndarray) -> None:
+        g = self.conductance
+        self.stamp_current(i_out, g * self.branch_voltage(v))
+        self.stamp_conductance(g_out, g)
+
+
+class Capacitor(TwoTerminal):
+    """Linear capacitor ``q = capacitance * (v_pos - v_neg)``.
+
+    An optional ``initial_voltage`` is used by the transient solver when the
+    user requests ``use_initial_conditions=True``.
+    """
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, capacitance: float,
+                 initial_voltage: float | None = None) -> None:
+        super().__init__(name, node_pos, node_neg)
+        capacitance = float(capacitance)
+        if capacitance <= 0.0:
+            raise CircuitError(f"{name}: capacitance must be positive, got {capacitance}")
+        self.capacitance = capacitance
+        self.initial_voltage = initial_voltage
+
+    def stamp_dynamic(self, v: np.ndarray, q_out: np.ndarray, c_out: np.ndarray) -> None:
+        c = self.capacitance
+        charge = c * self.branch_voltage(v)
+        add_at(q_out, self.pos, charge)
+        add_at(q_out, self.neg, -charge)
+        add_jac(c_out, self.pos, self.pos, c)
+        add_jac(c_out, self.neg, self.neg, c)
+        add_jac(c_out, self.pos, self.neg, -c)
+        add_jac(c_out, self.neg, self.pos, -c)
+
+
+class Inductor(TwoTerminal):
+    """Linear inductor modelled with an explicit branch-current unknown.
+
+    The branch current ``i_L`` is appended to the unknown vector.  Its KCL
+    contribution is static (the current flows between the terminal nodes) and
+    its constitutive equation ``v_pos - v_neg - L di_L/dt = 0`` contributes a
+    flux ``-L i_L`` to the dynamic part of the branch row.
+    """
+
+    n_branch = 1
+
+    def __init__(self, name: str, node_pos: str, node_neg: str, inductance: float,
+                 initial_current: float | None = None) -> None:
+        super().__init__(name, node_pos, node_neg)
+        inductance = float(inductance)
+        if inductance <= 0.0:
+            raise CircuitError(f"{name}: inductance must be positive, got {inductance}")
+        self.inductance = inductance
+        self.initial_current = initial_current
+
+    @property
+    def branch(self) -> int:
+        return self.branch_index[0]
+
+    def stamp_static(self, v: np.ndarray, i_out: np.ndarray, g_out: np.ndarray) -> None:
+        br = self.branch
+        i_l = v[br]
+        # KCL: the branch current leaves the positive node and enters the
+        # negative node.
+        add_at(i_out, self.pos, i_l)
+        add_at(i_out, self.neg, -i_l)
+        add_jac(g_out, self.pos, br, 1.0)
+        add_jac(g_out, self.neg, br, -1.0)
+        # Branch equation (static part): v_pos - v_neg ...
+        add_at(i_out, br, self.branch_voltage(v))
+        add_jac(g_out, br, self.pos, 1.0)
+        add_jac(g_out, br, self.neg, -1.0)
+
+    def stamp_dynamic(self, v: np.ndarray, q_out: np.ndarray, c_out: np.ndarray) -> None:
+        br = self.branch
+        # ... minus the flux derivative: d/dt(-L * i_L).
+        add_at(q_out, br, -self.inductance * v[br])
+        add_jac(c_out, br, br, -self.inductance)

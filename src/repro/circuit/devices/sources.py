@@ -1,0 +1,162 @@
+"""Independent and controlled sources.
+
+Independent sources may be flagged as *circuit inputs* (``is_input=True``).
+Input sources do not write their value into the fixed excitation vector;
+instead they expose a unit incidence column which the MNA builder collects
+into the input matrix ``B`` of the state-space description
+
+.. math:: \\frac{d}{dt} q(v) + i(v) = B\\,u(t) + b_{fixed}(t).
+
+That separation is what the transfer-function-trajectory (TFT) extraction
+needs: ``B`` maps the *signal* inputs ``u(t)`` to the internal nodes, while
+supplies and bias sources stay inside ``b_fixed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import CircuitError
+from .base import Device, TwoTerminal, add_at, add_jac
+from ..waveforms import DC, Waveform
+
+__all__ = ["VoltageSource", "CurrentSource", "VCVS", "VCCS"]
+
+
+def _as_waveform(value: float | Waveform) -> Waveform:
+    if isinstance(value, Waveform):
+        return value
+    return DC(float(value))
+
+
+class VoltageSource(TwoTerminal):
+    """Independent voltage source with an extra branch-current unknown.
+
+    The branch row enforces ``v_pos - v_neg = value(t)``; the KCL rows route
+    the branch current out of the positive node and into the negative node.
+    """
+
+    n_branch = 1
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 value: float | Waveform = 0.0, is_input: bool = False) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.waveform = _as_waveform(value)
+        self.is_input = bool(is_input)
+
+    @property
+    def branch(self) -> int:
+        return self.branch_index[0]
+
+    def stamp_static(self, v: np.ndarray, i_out: np.ndarray, g_out: np.ndarray) -> None:
+        br = self.branch
+        i_src = v[br]
+        add_at(i_out, self.pos, i_src)
+        add_at(i_out, self.neg, -i_src)
+        add_jac(g_out, self.pos, br, 1.0)
+        add_jac(g_out, self.neg, br, -1.0)
+        add_at(i_out, br, self.branch_voltage(v))
+        add_jac(g_out, br, self.pos, 1.0)
+        add_jac(g_out, br, self.neg, -1.0)
+
+    def stamp_rhs(self, t: float, b_out: np.ndarray) -> None:
+        if not self.is_input:
+            add_at(b_out, self.branch, self.waveform(t))
+
+    def input_incidence(self, n_unknowns: int) -> np.ndarray:
+        """Unit column mapping this input onto the branch constraint row."""
+        column = np.zeros(n_unknowns)
+        add_at(column, self.branch, 1.0)
+        return column
+
+    def current(self, v: np.ndarray) -> float:
+        """Current delivered by the source (flowing out of the positive node)."""
+        return float(-v[self.branch])
+
+
+class CurrentSource(TwoTerminal):
+    """Independent current source.
+
+    Positive ``value`` drives a current from the positive node through the
+    source to the negative node (SPICE convention), i.e. it *extracts* current
+    from the positive node.
+    """
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 value: float | Waveform = 0.0, is_input: bool = False) -> None:
+        super().__init__(name, node_pos, node_neg)
+        self.waveform = _as_waveform(value)
+        self.is_input = bool(is_input)
+
+    def stamp_rhs(self, t: float, b_out: np.ndarray) -> None:
+        if not self.is_input:
+            value = self.waveform(t)
+            add_at(b_out, self.pos, -value)
+            add_at(b_out, self.neg, value)
+
+    def input_incidence(self, n_unknowns: int) -> np.ndarray:
+        column = np.zeros(n_unknowns)
+        add_at(column, self.pos, -1.0)
+        add_at(column, self.neg, 1.0)
+        return column
+
+
+class VCVS(Device):
+    """Voltage-controlled voltage source ``v(out) = gain * v(ctrl)``.
+
+    Terminal order: ``(out_pos, out_neg, ctrl_pos, ctrl_neg)``.
+    """
+
+    n_branch = 1
+
+    def __init__(self, name: str, out_pos: str, out_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, gain: float) -> None:
+        super().__init__(name, (out_pos, out_neg, ctrl_pos, ctrl_neg))
+        self.gain = float(gain)
+
+    @property
+    def branch(self) -> int:
+        return self.branch_index[0]
+
+    def stamp_static(self, v: np.ndarray, i_out: np.ndarray, g_out: np.ndarray) -> None:
+        op, on, cp, cn = self.node_index
+        br = self.branch
+        i_src = v[br]
+        add_at(i_out, op, i_src)
+        add_at(i_out, on, -i_src)
+        add_jac(g_out, op, br, 1.0)
+        add_jac(g_out, on, br, -1.0)
+        v_out = (v[op] if op >= 0 else 0.0) - (v[on] if on >= 0 else 0.0)
+        v_ctrl = (v[cp] if cp >= 0 else 0.0) - (v[cn] if cn >= 0 else 0.0)
+        add_at(i_out, br, v_out - self.gain * v_ctrl)
+        add_jac(g_out, br, op, 1.0)
+        add_jac(g_out, br, on, -1.0)
+        add_jac(g_out, br, cp, -self.gain)
+        add_jac(g_out, br, cn, self.gain)
+
+
+class VCCS(Device):
+    """Voltage-controlled current source ``i(out) = gm * v(ctrl)``.
+
+    Terminal order: ``(out_pos, out_neg, ctrl_pos, ctrl_neg)``.  The current
+    flows from ``out_pos`` through the source to ``out_neg``.
+    """
+
+    def __init__(self, name: str, out_pos: str, out_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, transconductance: float) -> None:
+        super().__init__(name, (out_pos, out_neg, ctrl_pos, ctrl_neg))
+        self.transconductance = float(transconductance)
+        if self.transconductance == 0.0:
+            raise CircuitError(f"{name}: transconductance must be non-zero")
+
+    def stamp_static(self, v: np.ndarray, i_out: np.ndarray, g_out: np.ndarray) -> None:
+        op, on, cp, cn = self.node_index
+        gm = self.transconductance
+        v_ctrl = (v[cp] if cp >= 0 else 0.0) - (v[cn] if cn >= 0 else 0.0)
+        current = gm * v_ctrl
+        add_at(i_out, op, current)
+        add_at(i_out, on, -current)
+        add_jac(g_out, op, cp, gm)
+        add_jac(g_out, op, cn, -gm)
+        add_jac(g_out, on, cp, -gm)
+        add_jac(g_out, on, cn, gm)

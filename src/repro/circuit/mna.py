@@ -1,0 +1,174 @@
+"""Modified nodal analysis (MNA) assembly.
+
+The :class:`MNASystem` turns a :class:`repro.circuit.netlist.Circuit` into the
+nonlinear descriptor system used throughout the paper (its eq. (1)):
+
+.. math::
+
+    \\frac{d}{dt} q(v) + i(v) = B\\,u(t) + b_{fixed}(t), \\qquad y = D^T v
+
+with dense NumPy evaluation of ``i``, ``q`` and their Jacobians
+``G = \\partial i/\\partial v`` and ``C = \\partial q/\\partial v``.  Those two
+Jacobians, sampled along a transient trajectory, are exactly the snapshots the
+Transfer Function Trajectory extraction consumes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..exceptions import CircuitError
+from .devices import Device
+from .netlist import GROUND_NAMES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from .netlist import Circuit
+
+__all__ = ["MNASystem"]
+
+
+class MNASystem:
+    """Numerical MNA description of a circuit.
+
+    Attributes
+    ----------
+    n_nodes / n_branches / n_unknowns:
+        Sizes of the unknown vector: node voltages first, branch currents after.
+    node_index:
+        Mapping from node name to unknown index (ground maps to ``-1``).
+    input_matrix / output_matrix:
+        The constant incidence matrices ``B`` (``n x M_i``) and ``D``
+        (``n x M_o``) of the descriptor system.
+    """
+
+    def __init__(self, circuit: "Circuit") -> None:
+        self.circuit = circuit
+        self.node_names: list[str] = circuit.node_names()
+        self.node_index: dict[str, int] = {name: i for i, name in enumerate(self.node_names)}
+        for ground in GROUND_NAMES:
+            self.node_index[ground] = -1
+        self.n_nodes = len(self.node_names)
+
+        # Allocate branch unknowns and bind every device.
+        branch_cursor = self.n_nodes
+        self._branch_owner: list[str] = []
+        for device in circuit.devices:
+            device.bind(self.node_index, branch_cursor)
+            branch_cursor += device.n_branch
+            self._branch_owner.extend([device.name] * device.n_branch)
+        self.n_branches = branch_cursor - self.n_nodes
+        self.n_unknowns = branch_cursor
+
+        self._devices: tuple[Device, ...] = circuit.devices
+        self._nonlinear = tuple(d for d in self._devices if d.is_nonlinear())
+        self._input_sources = circuit.inputs
+        if not self._input_sources:
+            raise CircuitError(
+                f"circuit {circuit.name!r} declares no input source; "
+                "mark the signal source with is_input=True")
+
+        self.input_matrix = self._build_input_matrix()
+        self.output_matrix = self._build_output_matrix()
+        self.output_names = [o.name for o in circuit.outputs]
+        self.input_names = [d.name for d in self._input_sources]
+
+    # ----------------------------------------------------------------- helpers
+    @property
+    def n_inputs(self) -> int:
+        return self.input_matrix.shape[1]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.output_matrix.shape[1]
+
+    def unknown_labels(self) -> list[str]:
+        """Human-readable labels, ``v(node)`` then ``i(device)``."""
+        labels = [f"v({name})" for name in self.node_names]
+        labels.extend(f"i({name})" for name in self._branch_owner)
+        return labels
+
+    def _build_input_matrix(self) -> np.ndarray:
+        columns = [src.input_incidence(self.n_unknowns) for src in self._input_sources]
+        return np.column_stack(columns) if columns else np.zeros((self.n_unknowns, 0))
+
+    def _build_output_matrix(self) -> np.ndarray:
+        columns = []
+        for output in self.circuit.outputs:
+            column = np.zeros(self.n_unknowns)
+            for node, sign in ((output.positive, 1.0), (output.negative, -1.0)):
+                if node in GROUND_NAMES:
+                    continue
+                if node not in self.node_index:
+                    raise CircuitError(
+                        f"output {output.name!r} references unknown node {node!r}")
+                column[self.node_index[node]] += sign
+            columns.append(column)
+        return np.column_stack(columns) if columns else np.zeros((self.n_unknowns, 0))
+
+    # ------------------------------------------------------------ evaluations
+    def zero_state(self) -> np.ndarray:
+        return np.zeros(self.n_unknowns)
+
+    def eval_static(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Static currents ``i(v)`` and conductance Jacobian ``G(v)``."""
+        i_vec = np.zeros(self.n_unknowns)
+        g_mat = np.zeros((self.n_unknowns, self.n_unknowns))
+        for device in self._devices:
+            device.stamp_static(v, i_vec, g_mat)
+        return i_vec, g_mat
+
+    def eval_dynamic(self, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Charges/fluxes ``q(v)`` and capacitance Jacobian ``C(v)``."""
+        q_vec = np.zeros(self.n_unknowns)
+        c_mat = np.zeros((self.n_unknowns, self.n_unknowns))
+        for device in self._devices:
+            device.stamp_dynamic(v, q_vec, c_mat)
+        return q_vec, c_mat
+
+    def source_vector(self, t: float) -> np.ndarray:
+        """Excitation of the *non-input* sources at time ``t``."""
+        b_vec = np.zeros(self.n_unknowns)
+        for device in self._devices:
+            device.stamp_rhs(t, b_vec)
+        return b_vec
+
+    def input_vector(self, t: float) -> np.ndarray:
+        """Input signal values ``u(t)`` of the designated input sources."""
+        return np.array([src.waveform(t) for src in self._input_sources])
+
+    def excitation(self, t: float) -> np.ndarray:
+        """Total right-hand-side excitation ``B u(t) + b_fixed(t)``."""
+        return self.source_vector(t) + self.input_matrix @ self.input_vector(t)
+
+    def output(self, v: np.ndarray) -> np.ndarray:
+        """Outputs ``y = D^T v`` for a solution vector ``v``."""
+        return self.output_matrix.T @ v
+
+    # ------------------------------------------------------------- diagnostics
+    def describe(self) -> str:
+        return (f"MNA system for {self.circuit.name!r}: {self.n_nodes} node voltages, "
+                f"{self.n_branches} branch currents, {self.n_inputs} input(s), "
+                f"{self.n_outputs} output(s)")
+
+    def transfer_function(self, v: np.ndarray, frequencies: Sequence[float] | np.ndarray,
+                          gmin: float = 0.0) -> np.ndarray:
+        """Small-signal transfer functions about the point ``v``.
+
+        Returns an array of shape ``(n_freq, n_outputs, n_inputs)`` containing
+        ``D^T (G + s C)^{-1} B`` evaluated at ``s = j 2 pi f`` for every
+        frequency ``f``.  This is the elementary operation behind both the AC
+        analysis and the TFT extraction (paper eq. (3)).
+        """
+        _, g_mat = self.eval_static(v)
+        _, c_mat = self.eval_dynamic(v)
+        if gmin:
+            g_mat = g_mat + gmin * np.eye(self.n_unknowns)
+        frequencies = np.asarray(frequencies, dtype=float)
+        result = np.empty((frequencies.size, self.n_outputs, self.n_inputs), dtype=complex)
+        for idx, freq in enumerate(frequencies.ravel()):
+            s = 2j * np.pi * freq
+            solved = np.linalg.solve(g_mat + s * c_mat, self.input_matrix)
+            result[idx] = self.output_matrix.T @ solved
+        return result

@@ -1,0 +1,106 @@
+"""Damped Newton-Raphson solver shared by the DC and transient analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import SingularMatrixError
+
+__all__ = ["NewtonOptions", "NewtonResult", "newton_solve"]
+
+
+@dataclass
+class NewtonOptions:
+    """Tuning knobs of the Newton iteration.
+
+    ``abs_tol``/``rel_tol`` follow the SPICE convention: convergence requires
+    the residual norm to drop below ``abs_tol`` *and* the last update to be
+    small relative to the solution (``rel_tol * |v| + abs_tol``).
+    ``max_step`` limits the per-iteration change of any unknown, which acts as
+    a crude but effective junction-voltage limiter for exponential devices.
+    """
+
+    max_iterations: int = 100
+    abs_tol: float = 1e-9
+    rel_tol: float = 1e-6
+    max_step: float = 1.0
+    singular_threshold: float = 1e-18
+
+
+@dataclass
+class NewtonResult:
+    """Outcome of a Newton solve."""
+
+    solution: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norm: float
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.converged
+
+
+def newton_solve(residual_and_jacobian: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
+                 initial_guess: np.ndarray,
+                 options: NewtonOptions | None = None) -> NewtonResult:
+    """Solve ``f(v) = 0`` with a damped Newton iteration.
+
+    Parameters
+    ----------
+    residual_and_jacobian:
+        Callable returning ``(f(v), J(v))`` for a trial solution ``v``.
+    initial_guess:
+        Starting point; not modified.
+    options:
+        :class:`NewtonOptions`; defaults are suitable for the circuits in this
+        repository.
+    """
+    opts = options or NewtonOptions()
+    v = np.array(initial_guess, dtype=float, copy=True)
+    residual, jacobian = residual_and_jacobian(v)
+    residual_norm = float(np.linalg.norm(residual, ord=np.inf))
+
+    for iteration in range(1, opts.max_iterations + 1):
+        try:
+            delta = np.linalg.solve(jacobian, -residual)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"singular Jacobian during Newton iteration {iteration}") from exc
+        if not np.all(np.isfinite(delta)):
+            raise SingularMatrixError(
+                f"non-finite Newton update at iteration {iteration}")
+
+        # Damping: limit the largest per-unknown update.
+        max_delta = float(np.max(np.abs(delta))) if delta.size else 0.0
+        if max_delta > opts.max_step:
+            delta *= opts.max_step / max_delta
+        v_new = v + delta
+
+        residual_new, jacobian_new = residual_and_jacobian(v_new)
+        residual_norm_new = float(np.linalg.norm(residual_new, ord=np.inf))
+
+        # Simple line search: if the residual grew a lot, halve the step a few
+        # times before accepting.
+        backtrack = 0
+        while (residual_norm_new > 10.0 * residual_norm + opts.abs_tol
+               and backtrack < 4):
+            delta *= 0.5
+            v_new = v + delta
+            residual_new, jacobian_new = residual_and_jacobian(v_new)
+            residual_norm_new = float(np.linalg.norm(residual_new, ord=np.inf))
+            backtrack += 1
+
+        update_norm = float(np.max(np.abs(v_new - v))) if v.size else 0.0
+        v, residual, jacobian = v_new, residual_new, jacobian_new
+        residual_norm = residual_norm_new
+
+        solution_scale = float(np.max(np.abs(v))) if v.size else 0.0
+        update_ok = update_norm <= opts.rel_tol * solution_scale + opts.abs_tol
+        residual_ok = residual_norm <= opts.abs_tol
+        if update_ok and residual_ok:
+            return NewtonResult(v, True, iteration, residual_norm)
+
+    return NewtonResult(v, False, opts.max_iterations, residual_norm)

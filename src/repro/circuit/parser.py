@@ -1,0 +1,245 @@
+"""SPICE-like text netlist parser.
+
+The paper's flow starts "from the netlist of a nonlinear analog circuit", so
+this module provides a small SPICE-dialect reader that covers the element
+types of the device library.  Supported card types::
+
+    R<name> n+ n- value
+    C<name> n+ n- value
+    L<name> n+ n- value
+    V<name> n+ n- [DC value | SIN(off amp freq [delay phase]) | PULSE(...)] [INPUT]
+    I<name> n+ n- [DC value | SIN(...)] [INPUT]
+    D<name> n+ n- model
+    M<name> nd ng ns nb model [W=value] [L=value]
+    E<name> n+ n- nc+ nc- gain            (VCVS)
+    G<name> n+ n- nc+ nc- gm              (VCCS)
+    .model <name> <NMOS|PMOS|D> (param=value ...)
+    .output <name> n+ [n-]
+    .title / * comments / .end
+
+Values understand engineering suffixes (``10k``, ``2.5u``, ``1meg``).  The
+``INPUT`` flag on a V/I card marks it as a circuit input (a column of the
+``B`` matrix used by the TFT extraction).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..exceptions import NetlistParseError
+from ..units import parse_value
+from .devices import MOSFETParams
+from .netlist import Circuit
+from .waveforms import DC, Pulse, Sine, Waveform
+
+__all__ = ["parse_netlist", "ModelCard"]
+
+
+@dataclass
+class ModelCard:
+    """A ``.model`` card: model name, type and parameter dictionary."""
+
+    name: str
+    kind: str
+    parameters: dict[str, float] = field(default_factory=dict)
+
+
+_PAREN_RE = re.compile(r"\(([^)]*)\)")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "$"):
+        if marker in line:
+            line = line.split(marker, 1)[0]
+    return line.strip()
+
+
+def _join_continuations(lines: list[str]) -> list[tuple[int, str]]:
+    """Merge SPICE ``+`` continuation lines, keeping original line numbers."""
+    merged: list[tuple[int, str]] = []
+    for number, raw in enumerate(lines, start=1):
+        line = _strip_comment(raw)
+        if not line or line.startswith("*"):
+            continue
+        if line.startswith("+"):
+            if not merged:
+                raise NetlistParseError("continuation line with nothing to continue",
+                                        number, raw)
+            prev_number, prev_line = merged[-1]
+            merged[-1] = (prev_number, prev_line + " " + line[1:].strip())
+        else:
+            merged.append((number, line))
+    return merged
+
+
+def _parse_source_value(tokens: list[str], line_number: int, line: str) -> tuple[Waveform, bool]:
+    """Parse the value part of a V/I card; returns (waveform, is_input)."""
+    text = " ".join(tokens)
+    is_input = False
+    if re.search(r"\bINPUT\b", text, flags=re.IGNORECASE):
+        is_input = True
+        text = re.sub(r"\bINPUT\b", "", text, flags=re.IGNORECASE).strip()
+    if not text:
+        return DC(0.0), is_input
+
+    upper = text.upper()
+    if upper.startswith("SIN"):
+        match = _PAREN_RE.search(text)
+        if not match:
+            raise NetlistParseError("malformed SIN() specification", line_number, line)
+        args = [parse_value(tok) for tok in match.group(1).split()]
+        if len(args) < 3:
+            raise NetlistParseError("SIN() needs offset, amplitude and frequency",
+                                    line_number, line)
+        offset, amplitude, frequency = args[:3]
+        delay = args[3] if len(args) > 3 else 0.0
+        phase = args[4] if len(args) > 4 else 0.0
+        return Sine(offset=offset, amplitude=amplitude, frequency=frequency,
+                    delay=delay, phase=phase), is_input
+    if upper.startswith("PULSE"):
+        match = _PAREN_RE.search(text)
+        if not match:
+            raise NetlistParseError("malformed PULSE() specification", line_number, line)
+        args = [parse_value(tok) for tok in match.group(1).split()]
+        if len(args) < 7:
+            raise NetlistParseError(
+                "PULSE() needs v1 v2 delay rise fall width period", line_number, line)
+        v1, v2, delay, rise, fall, width, period = args[:7]
+        return Pulse(initial=v1, pulsed=v2, delay=delay, rise=rise,
+                     fall=fall, width=width, period=period), is_input
+    if upper.startswith("DC"):
+        remainder = text[2:].strip()
+        return DC(parse_value(remainder) if remainder else 0.0), is_input
+    return DC(parse_value(text)), is_input
+
+
+def _parse_model_card(tokens: list[str], line_number: int, line: str) -> ModelCard:
+    if len(tokens) < 3:
+        raise NetlistParseError(".model needs a name and a type", line_number, line)
+    name, kind = tokens[1], tokens[2].upper()
+    param_text = " ".join(tokens[3:])
+    param_text = param_text.strip().lstrip("(").rstrip(")")
+    parameters: dict[str, float] = {}
+    for assignment in re.split(r"[\s,]+", param_text):
+        if not assignment:
+            continue
+        if "=" not in assignment:
+            raise NetlistParseError(f"malformed model parameter {assignment!r}",
+                                    line_number, line)
+        key, value = assignment.split("=", 1)
+        parameters[key.strip().lower()] = parse_value(value.strip())
+    return ModelCard(name=name, kind=kind, parameters=parameters)
+
+
+def _mosfet_params(card: ModelCard, width: float | None, length: float | None) -> MOSFETParams:
+    p = card.parameters
+    return MOSFETParams(
+        width=width if width is not None else p.get("w", 1e-6),
+        length=length if length is not None else p.get("l", 0.13e-6),
+        kp=p.get("kp", 300e-6),
+        vto=abs(p.get("vto", 0.35)),
+        lam=p.get("lambda", 0.15),
+        cox=p.get("cox", 8e-3),
+        cgs_overlap=p.get("cgso", 0.3e-9),
+        cgd_overlap=p.get("cgdo", 0.3e-9),
+        cjd=p.get("cjd", 1e-15),
+        cjs=p.get("cjs", 1e-15),
+    )
+
+
+def parse_netlist(text: str, name: str | None = None) -> Circuit:
+    """Parse a SPICE-like netlist string into a :class:`Circuit`."""
+    lines = text.splitlines()
+    cards = _join_continuations(lines)
+    circuit_name = name or "netlist"
+
+    # First pass: collect .model cards and the title.
+    models: dict[str, ModelCard] = {}
+    element_cards: list[tuple[int, str]] = []
+    for line_number, line in cards:
+        tokens = line.split()
+        keyword = tokens[0].lower()
+        if keyword == ".title":
+            circuit_name = " ".join(tokens[1:]) or circuit_name
+        elif keyword == ".model":
+            card = _parse_model_card(tokens, line_number, line)
+            models[card.name.lower()] = card
+        elif keyword == ".end":
+            break
+        else:
+            element_cards.append((line_number, line))
+
+    circuit = Circuit(circuit_name)
+
+    for line_number, line in element_cards:
+        tokens = line.split()
+        head = tokens[0]
+        kind = head[0].upper()
+        try:
+            if kind == "R":
+                circuit.resistor(head, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "C":
+                circuit.capacitor(head, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind == "L":
+                circuit.inductor(head, tokens[1], tokens[2], parse_value(tokens[3]))
+            elif kind in ("V", "I"):
+                waveform, is_input = _parse_source_value(tokens[3:], line_number, line)
+                if kind == "V":
+                    circuit.voltage_source(head, tokens[1], tokens[2], waveform,
+                                           is_input=is_input)
+                else:
+                    circuit.current_source(head, tokens[1], tokens[2], waveform,
+                                           is_input=is_input)
+            elif kind == "D":
+                card = models.get(tokens[3].lower()) if len(tokens) > 3 else None
+                params = card.parameters if card else {}
+                circuit.diode(head, tokens[1], tokens[2],
+                              saturation_current=params.get("is", 1e-14),
+                              emission_coefficient=params.get("n", 1.0),
+                              junction_capacitance=params.get("cjo", 0.0),
+                              junction_potential=params.get("vj", 0.8),
+                              grading_coefficient=params.get("m", 0.5),
+                              transit_time=params.get("tt", 0.0))
+            elif kind == "M":
+                if len(tokens) < 6:
+                    raise NetlistParseError("MOSFET card needs 4 nodes and a model",
+                                            line_number, line)
+                model_name = tokens[5].lower()
+                if model_name not in models:
+                    raise NetlistParseError(f"unknown MOSFET model {tokens[5]!r}",
+                                            line_number, line)
+                card = models[model_name]
+                width = length = None
+                for extra in tokens[6:]:
+                    if "=" not in extra:
+                        continue
+                    key, value = extra.split("=", 1)
+                    if key.lower() == "w":
+                        width = parse_value(value)
+                    elif key.lower() == "l":
+                        length = parse_value(value)
+                params = _mosfet_params(card, width, length)
+                if card.kind == "PMOS":
+                    circuit.pmos(head, tokens[1], tokens[2], tokens[3], tokens[4], params=params)
+                else:
+                    circuit.nmos(head, tokens[1], tokens[2], tokens[3], tokens[4], params=params)
+            elif kind == "E":
+                from .devices import VCVS
+                circuit.add(VCVS(head, tokens[1], tokens[2], tokens[3], tokens[4],
+                                 parse_value(tokens[5])))
+            elif kind == "G":
+                from .devices import VCCS
+                circuit.add(VCCS(head, tokens[1], tokens[2], tokens[3], tokens[4],
+                                 parse_value(tokens[5])))
+            elif head.lower() == ".output":
+                negative = tokens[3] if len(tokens) > 3 else "0"
+                circuit.add_output(tokens[1], tokens[2], negative)
+            else:
+                raise NetlistParseError(f"unsupported card {head!r}", line_number, line)
+        except NetlistParseError:
+            raise
+        except (IndexError, ValueError) as exc:
+            raise NetlistParseError(f"malformed card: {exc}", line_number, line) from exc
+
+    return circuit

@@ -1,0 +1,20 @@
+"""Ready-made example circuits used by the examples, tests and benchmarks."""
+
+from .buffer import BufferParams, build_output_buffer, buffer_training_waveform, buffer_test_pattern
+from .common_source import build_common_source_amplifier
+from .diffpair import DiffPairParams, add_differential_stage, build_differential_amplifier
+from .diode_limiter import build_diode_limiter
+from .rc_ladder import build_rc_ladder
+
+__all__ = [
+    "build_rc_ladder",
+    "build_diode_limiter",
+    "build_common_source_amplifier",
+    "DiffPairParams",
+    "add_differential_stage",
+    "build_differential_amplifier",
+    "BufferParams",
+    "build_output_buffer",
+    "buffer_training_waveform",
+    "buffer_test_pattern",
+]

@@ -1,0 +1,35 @@
+"""Resistively loaded common-source MOS amplifier (single transistor)."""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, MOSFETParams, Waveform
+from ..circuit.waveforms import DC
+
+__all__ = ["build_common_source_amplifier"]
+
+
+def build_common_source_amplifier(supply: float = 1.2,
+                                  load_resistance: float = 5e3,
+                                  load_capacitance: float = 20e-15,
+                                  width: float = 4e-6,
+                                  length: float = 0.13e-6,
+                                  input_waveform: Waveform | float = 0.55,
+                                  name: str = "common_source") -> Circuit:
+    """Single NMOS common-source stage with resistive load.
+
+    The gate is driven directly by the input source (flagged as the TFT
+    input); the output is the drain node.  The square-law device gives a
+    smoothly varying transconductance, so the TFT hyperplane shows a clear
+    gain variation along the state axis without any convergence difficulty —
+    a good mid-complexity example between the RC ladder and the full buffer.
+    """
+    circuit = Circuit(name)
+    wave = input_waveform if isinstance(input_waveform, Waveform) else DC(float(input_waveform))
+    circuit.voltage_source("VDD", "vdd", "0", supply)
+    circuit.voltage_source("Vin", "gate", "0", wave, is_input=True)
+    params = MOSFETParams(width=width, length=length)
+    circuit.nmos("M1", "drain", "gate", "0", "0", params=params)
+    circuit.resistor("RD", "vdd", "drain", load_resistance)
+    circuit.capacitor("CL", "drain", "0", load_capacitance)
+    circuit.add_output("vout", "drain")
+    return circuit

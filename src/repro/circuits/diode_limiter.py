@@ -1,0 +1,39 @@
+"""Diode limiter/rectifier — a strongly nonlinear two-diode test circuit.
+
+The circuit clips the output between roughly +/- one diode drop, so both the
+instantaneous gain and the dynamics are strongly state dependent: an ideal
+stress test for the static-path reconstruction (integration of ``H(x, 0)``).
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, Waveform
+from ..circuit.waveforms import DC
+
+__all__ = ["build_diode_limiter"]
+
+
+def build_diode_limiter(series_resistance: float = 1e3,
+                        load_resistance: float = 10e3,
+                        load_capacitance: float = 5e-12,
+                        clip_bias: float = 0.2,
+                        input_waveform: Waveform | float = 0.0,
+                        name: str = "diode_limiter") -> Circuit:
+    """Series-R diode clipper with a capacitive load.
+
+    Two anti-parallel diodes (each in series with a small bias offset created
+    by a resistive divider from the supply) clamp the output node.  The input
+    source is flagged as the TFT input.
+    """
+    circuit = Circuit(name)
+    wave = input_waveform if isinstance(input_waveform, Waveform) else DC(float(input_waveform))
+    circuit.voltage_source("Vin", "in", "0", wave, is_input=True)
+    circuit.voltage_source("Vbias_p", "clip_p", "0", clip_bias)
+    circuit.voltage_source("Vbias_n", "clip_n", "0", -clip_bias)
+    circuit.resistor("Rs", "in", "out", series_resistance)
+    circuit.diode("D1", "out", "clip_p", junction_capacitance=0.5e-12, transit_time=5e-10)
+    circuit.diode("D2", "clip_n", "out", junction_capacitance=0.5e-12, transit_time=5e-10)
+    circuit.resistor("RL", "out", "0", load_resistance)
+    circuit.capacitor("CL", "out", "0", load_capacitance)
+    circuit.add_output("vout", "out")
+    return circuit

@@ -1,0 +1,41 @@
+"""Linear RC ladder — the simplest test vehicle for the extraction flow.
+
+Because the circuit is linear, its TFT hyperplane is *flat* along the state
+axis and the extracted Hammerstein model must degenerate to an ordinary
+linear transfer function.  Several unit tests rely on this property.
+"""
+
+from __future__ import annotations
+
+from ..circuit import Circuit, Waveform
+from ..circuit.waveforms import DC
+
+__all__ = ["build_rc_ladder"]
+
+
+def build_rc_ladder(n_sections: int = 3, resistance: float = 1e3,
+                    capacitance: float = 1e-12,
+                    input_waveform: Waveform | float = 0.5,
+                    name: str = "rc_ladder") -> Circuit:
+    """Build an ``n_sections``-stage RC low-pass ladder driven by one input.
+
+    Parameters
+    ----------
+    n_sections:
+        Number of RC sections (>= 1).
+    resistance / capacitance:
+        Per-section values; the defaults give a first corner around 160 MHz.
+    input_waveform:
+        Waveform (or DC level) of the input voltage source, which is marked as
+        the circuit input for the TFT extraction.
+    """
+    if n_sections < 1:
+        raise ValueError("need at least one RC section")
+    circuit = Circuit(name)
+    wave = input_waveform if isinstance(input_waveform, Waveform) else DC(float(input_waveform))
+    circuit.voltage_source("Vin", "n0", "0", wave, is_input=True)
+    for section in range(1, n_sections + 1):
+        circuit.resistor(f"R{section}", f"n{section - 1}", f"n{section}", resistance)
+        circuit.capacitor(f"C{section}", f"n{section}", "0", capacitance)
+    circuit.add_output("vout", f"n{n_sections}")
+    return circuit

@@ -1,0 +1,60 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class.  The sub-classes separate the three layers of
+the tool chain: the circuit simulator substrate, the fitting engines and the
+extracted behavioural models.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits (unknown nodes, duplicate names, ...)."""
+
+
+class NetlistParseError(CircuitError):
+    """Raised when a SPICE-like text netlist cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line: str | None = None) -> None:
+        self.line_number = line_number
+        self.line = line
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        if line is not None:
+            message = f"{message}  [{line.strip()!r}]"
+        super().__init__(message)
+
+
+class ConvergenceError(ReproError):
+    """Raised when a Newton iteration or a stepping strategy fails."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None) -> None:
+        self.iterations = iterations
+        self.residual = residual
+        details = []
+        if iterations is not None:
+            details.append(f"iterations={iterations}")
+        if residual is not None:
+            details.append(f"residual={residual:.3e}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+
+
+class SingularMatrixError(ReproError):
+    """Raised when an MNA system matrix is singular or near singular."""
+
+
+class FittingError(ReproError):
+    """Raised when vector fitting or recursive vector fitting fails."""
+
+
+class ModelError(ReproError):
+    """Raised for inconsistent extracted models (e.g. unstable poles)."""

@@ -1,0 +1,360 @@
+"""Recursive Vector Fitting of state-dependent residue trajectories.
+
+After the frequency poles ``{a_p}`` have been fixed, every frequency-pole
+residue becomes a trajectory ``r_p(x^(k))`` over the sampled states.  This
+module fits those trajectories — all of them sharing a *common* set of state
+poles ``{b_q}`` — as partial fraction expansions in the state variable(s),
+which is the "recursive" application of vector fitting that gives the paper
+its name (Section III.B, eq. (16)).
+
+Two cases are covered:
+
+* **one-dimensional state estimators** (``x = u(t)``, the paper's example):
+  a single complex-coefficient vector fit along ``j*x``;
+* **multi-dimensional gridded state estimators**: the expansion is built one
+  dimension at a time, outermost dimension first; the residues of each level
+  are themselves fitted along the next dimension (paper eq. (16)), ending
+  with partial fractions in the input ``u`` that can be integrated
+  analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import FittingError, ModelError
+from ..vectfit import VectorFitOptions, vector_fit
+from ..vectfit.poles import initial_state_poles
+from .residues import IntegratedPartialFraction, PartialFractionFunction
+
+__all__ = [
+    "StateFitOptions",
+    "StateFitReport",
+    "fit_residue_trajectories",
+    "fit_recursive_expansion",
+    "NestedPartialFraction",
+]
+
+
+@dataclass
+class StateFitOptions:
+    """Options of the state-axis (recursive) fitting stage."""
+
+    error_bound: float = 1e-3
+    start_order: int = 2
+    order_step: int = 2
+    max_order: int = 20
+    n_iterations: int = 20
+    weighting: str = "uniform"
+    #: Minimum |Re(b)| of a state pole, relative to the state-axis span, so
+    #: that the analytic antiderivative stays well conditioned.
+    min_pole_real_fraction: float = 1e-3
+    #: Stop increasing the order once an extra pair of poles improves the error
+    #: by less than this factor — trajectory data has a noise floor (hysteresis
+    #: of the training trajectory) below which extra poles only overfit.
+    stagnation_factor: float = 0.85
+
+    def vector_fit_options(self) -> VectorFitOptions:
+        # The state-axis pole search runs in real-coefficient mode on the real
+        # state variable: poles are found as complex conjugate pairs about the
+        # state axis, which is exactly the "zero-phase" pole pairing of the
+        # paper's reference [10] once mapped to the j*x convention.
+        return VectorFitOptions(
+            n_iterations=self.n_iterations,
+            real_coefficients=True,
+            relaxed=True,
+            fit_constant=True,
+            fit_proportional=False,
+            enforce_stability=False,
+            weighting=self.weighting,
+        )
+
+
+@dataclass
+class StateFitReport:
+    """Diagnostics of one state-axis fit."""
+
+    poles: np.ndarray
+    orders_tried: list[int]
+    errors: list[float]
+    error_bound: float
+    converged: bool
+
+    @property
+    def order(self) -> int:
+        return int(self.poles.size)
+
+
+def _off_axis_poles(poles_x: np.ndarray, span: float, min_fraction: float) -> np.ndarray:
+    """Push x-domain state poles away from the real axis.
+
+    The basis ``1/(x - a)`` is singular when ``a`` is real and inside the
+    sampled interval, and its antiderivative (equivalently, the ``j*x``
+    convention primitive) requires a non-zero imaginary part.  Poles closer to
+    the real axis than ``min_fraction * span`` are nudged away; the residues
+    are recomputed afterwards by the caller.
+    """
+    poles = np.array(poles_x, dtype=complex, copy=True)
+    min_imag = max(min_fraction * span, 1e-30)
+    small = np.abs(poles.imag) < min_imag
+    if np.any(small):
+        signs = np.where(poles.imag[small] >= 0.0, 1.0, -1.0)
+        poles[small] = poles[small].real + 1j * signs * min_imag
+    return poles
+
+
+def fit_residue_trajectories(states: np.ndarray, samples: np.ndarray,
+                             options: StateFitOptions | None = None,
+                             variable: str = "u"
+                             ) -> tuple[list[PartialFractionFunction], StateFitReport]:
+    """Fit several functions of one real state variable with common poles.
+
+    Parameters
+    ----------
+    states:
+        State samples ``x^(k)``, shape ``(K,)``.
+    samples:
+        Function samples, shape ``(F, K)`` — one row per residue trajectory
+        (plus rows for the instantaneous gain or the direct term if desired).
+    options:
+        :class:`StateFitOptions`; the order is increased by ``order_step``
+        until the relative error drops below ``error_bound``.
+    variable:
+        Name used when printing the resulting analytical expressions.
+
+    Returns
+    -------
+    (functions, report):
+        One :class:`PartialFractionFunction` per row of ``samples`` (all
+        sharing the same poles), plus fit diagnostics.
+    """
+    opts = options or StateFitOptions()
+    states = np.asarray(states, dtype=float).ravel()
+    samples = np.atleast_2d(np.asarray(samples, dtype=complex))
+    if samples.shape[1] != states.size:
+        raise FittingError(
+            f"samples have {samples.shape[1]} columns but {states.size} states given")
+    if states.size < 4:
+        raise FittingError("need at least four state samples to fit residue trajectories")
+
+    span = float(states.max() - states.min()) or 1.0
+    x_lo, x_hi = float(states.min()), float(states.max())
+    vf_opts = opts.vector_fit_options()
+
+    # The pole search runs in real-coefficient mode on the real state variable.
+    # Complex trajectories (residues of complex frequency-pole pairs) are
+    # split into real and imaginary rows; per-row normalisation keeps small
+    # trajectories from being drowned out by large ones in the common-pole fit.
+    scales = np.sqrt(np.mean(np.abs(samples) ** 2, axis=1))
+    scales = np.where(scales > 0.0, scales, 1.0)
+    normalised = samples / scales[:, None]
+    fit_rows = np.vstack([normalised.real, normalised.imag]).astype(complex)
+    svals_x = states.astype(complex)
+
+    orders_tried: list[int] = []
+    errors: list[float] = []
+    pole_sets: list[np.ndarray] = []
+
+    max_supported = max(1, states.size // 2 - 1)
+    effective_max = min(opts.max_order, max_supported)
+    order = min(max(opts.start_order, 1), effective_max)
+    while True:
+        initial = initial_state_poles(x_lo, x_hi, order)
+        result = vector_fit(svals_x, fit_rows, initial, vf_opts)
+        orders_tried.append(order)
+        errors.append(result.relative_error)
+        pole_sets.append(result.poles)
+        if result.relative_error <= opts.error_bound or order >= effective_max:
+            break
+        # Stagnation guard: trajectory data carries a hysteresis noise floor;
+        # once extra poles stop paying for themselves they only overfit.
+        if len(errors) >= 2 and errors[-1] > opts.stagnation_factor * min(errors[:-1]):
+            break
+        order = min(order + opts.order_step, effective_max)
+
+    # Prefer the smallest order whose error is within 5% of the best achieved.
+    best_error = min(errors)
+    tolerance = max(opts.error_bound, 1.05 * best_error)
+    chosen = next(i for i, err in enumerate(errors) if err <= tolerance)
+    poles_x = _off_axis_poles(pole_sets[chosen], span, opts.min_pole_real_fraction)
+
+    # Final residue identification: one complex least-squares solve with the
+    # fixed pole set, directly on the (unsplit) complex trajectories.
+    basis = 1.0 / (states[None, :] - poles_x[:, None])          # (Q, K)
+    lhs = np.vstack([basis, np.ones((1, states.size))]).T        # (K, Q+1)
+    solution, *_ = np.linalg.lstsq(lhs, (normalised).T, rcond=None)
+    coefficients_x = (solution[:-1].T) * scales[:, None]
+    constants = solution[-1] * scales
+
+    # Convert the x-domain expansion  c/(x - a)  to the paper's j*x convention
+    # 1/(j*x - b) with b = j*a and coefficient j*c; conjugate pole pairs in x
+    # become the +/- real-part ("zero phase") pairs of the paper.
+    poles_jx = 1j * poles_x
+    coefficients_jx = 1j * coefficients_x
+
+    functions = [
+        PartialFractionFunction(poles=poles_jx, coefficients=coefficients_jx[i],
+                                constant=constants[i], variable=variable)
+        for i in range(samples.shape[0])
+    ]
+    report = StateFitReport(
+        poles=poles_jx,
+        orders_tried=orders_tried,
+        errors=errors,
+        error_bound=opts.error_bound,
+        converged=bool(min(errors) <= opts.error_bound),
+    )
+    return functions, report
+
+
+# --------------------------------------------------------------------------- #
+# multi-dimensional (gridded) recursion
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class NestedPartialFraction:
+    """Recursive partial fraction expansion over a multi-dimensional state.
+
+    At this level the expansion reads (paper eq. (16))
+
+    .. math::
+        f(x) = g_0(x_{rest}) + \\sum_q \\frac{g_q(x_{rest})}{j x_d - b_q}
+
+    where ``x_d`` is the coordinate handled at this level
+    (``dimension_index``) and the ``g_q`` are either nested expansions over
+    the remaining coordinates or, at the innermost level, plain
+    :class:`PartialFractionFunction` objects in the input ``u``.
+    """
+
+    poles: np.ndarray
+    children: list
+    constant_child: object
+    dimension_index: int
+    variable: str = "x"
+
+    def __post_init__(self) -> None:
+        self.poles = np.atleast_1d(np.asarray(self.poles, dtype=complex))
+        if len(self.children) != self.poles.size:
+            raise ModelError("need exactly one child expansion per pole")
+
+    def __call__(self, x: np.ndarray) -> complex | np.ndarray:
+        """Evaluate at one state vector ``x`` (1-D array) or a batch ``(K, q)``."""
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            return self._evaluate_single(x)
+        return np.array([self._evaluate_single(row) for row in x])
+
+    def _evaluate_single(self, x: np.ndarray) -> complex:
+        value = (complex(_call_child(self.constant_child, x))
+                 if self.constant_child is not None else 0.0)
+        coordinate = x[self.dimension_index]
+        for pole, child in zip(self.poles, self.children):
+            value += complex(_call_child(child, x)) / (1j * coordinate - pole)
+        return value
+
+    def antiderivative(self) -> "NestedPartialFraction":
+        """Antiderivative with respect to the innermost variable (the input)."""
+        integrated_children = [child.antiderivative() for child in self.children]
+        integrated_constant = (self.constant_child.antiderivative()
+                               if self.constant_child is not None else None)
+        return NestedPartialFraction(self.poles.copy(), integrated_children,
+                                     integrated_constant, self.dimension_index,
+                                     self.variable)
+
+    def to_expression(self, precision: int = 6) -> str:
+        parts = []
+        if self.constant_child is not None:
+            parts.append(self.constant_child.to_expression(precision))
+        for pole, child in zip(self.poles, self.children):
+            parts.append(f"({child.to_expression(precision)})/"
+                         f"(j*x{self.dimension_index} - ({pole:.{precision}g}))")
+        return " + ".join(parts)
+
+
+def _call_child(child, x: np.ndarray) -> complex:
+    """Evaluate a child expansion: leaves take the scalar input u = x[0]."""
+    if isinstance(child, (PartialFractionFunction, IntegratedPartialFraction)):
+        return child(float(x[0]))
+    return child(x)
+
+
+def _leaf_functions(states_u: np.ndarray, samples: np.ndarray,
+                    options: StateFitOptions) -> tuple[list[PartialFractionFunction], StateFitReport]:
+    return fit_residue_trajectories(states_u, samples, options, variable="u")
+
+
+def fit_recursive_expansion(grid_axes: list[np.ndarray], samples: np.ndarray,
+                            options: StateFitOptions | None = None
+                            ) -> tuple[list, list[StateFitReport]]:
+    """Fit functions on a tensor-product state grid, one dimension at a time.
+
+    Parameters
+    ----------
+    grid_axes:
+        List of 1-D arrays ``[u_axis, x2_axis, ..., xq_axis]`` defining the
+        tensor grid (the first axis is the input ``u``).
+    samples:
+        Function samples of shape ``(F, n_u, n_2, ..., n_q)``.
+    options:
+        Shared :class:`StateFitOptions` for every level.
+
+    Returns
+    -------
+    (functions, reports):
+        ``functions[i]`` models ``samples[i]``; for a one-dimensional grid the
+        functions are plain :class:`PartialFractionFunction` objects, otherwise
+        nested expansions whose innermost variable is ``u``.  ``reports`` holds
+        one :class:`StateFitReport` per fitted dimension (outermost first).
+    """
+    opts = options or StateFitOptions()
+    samples = np.asarray(samples, dtype=complex)
+    n_dims = len(grid_axes)
+    expected_shape = tuple(len(axis) for axis in grid_axes)
+    if samples.shape[1:] != expected_shape:
+        raise FittingError(
+            f"samples shape {samples.shape[1:]} does not match grid {expected_shape}")
+
+    if n_dims == 1:
+        functions, report = _leaf_functions(np.asarray(grid_axes[0], dtype=float),
+                                            samples, opts)
+        return functions, [report]
+
+    # Fit along the outermost (last) dimension first: every combination of the
+    # remaining coordinates contributes one trajectory, and all trajectories
+    # share the same poles b_q.
+    n_functions = samples.shape[0]
+    last_axis = np.asarray(grid_axes[-1], dtype=float)
+    inner_shape = samples.shape[1:-1]
+    flattened = samples.reshape(n_functions * int(np.prod(inner_shape)), len(last_axis))
+
+    outer_functions, outer_report = fit_residue_trajectories(
+        last_axis, flattened, opts, variable=f"x{n_dims - 1}")
+    poles = outer_report.poles
+    n_poles = poles.size
+
+    # The fitted coefficients (and constants) become new sample hyper-surfaces
+    # over the remaining dimensions; recurse on those.
+    coefficients = np.array([f.coefficients for f in outer_functions])   # (F*, Q)
+    constants = np.array([f.constant for f in outer_functions])          # (F*,)
+    coefficient_surfaces = coefficients.T.reshape(n_poles, n_functions, *inner_shape)
+    child_samples = np.concatenate(
+        [coefficient_surfaces.reshape(n_poles * n_functions, *inner_shape),
+         constants.reshape(n_functions, *inner_shape)],
+        axis=0)
+
+    child_functions, child_reports = fit_recursive_expansion(
+        grid_axes[:-1], child_samples, opts)
+
+    functions = []
+    for i in range(n_functions):
+        children = [child_functions[q * n_functions + i] for q in range(n_poles)]
+        constant_child = child_functions[n_poles * n_functions + i]
+        functions.append(NestedPartialFraction(
+            poles=poles.copy(),
+            children=children,
+            constant_child=constant_child,
+            dimension_index=n_dims - 1,
+        ))
+    return functions, [outer_report] + child_reports

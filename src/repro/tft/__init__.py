@@ -1,0 +1,17 @@
+"""Transfer Function Trajectories: Jacobian snapshots to state/frequency data."""
+
+from .hyperplane import TFTDataset
+from .snapshots import JacobianSnapshot, SnapshotTrajectory
+from .state_estimator import DelayLine, StateEstimator
+from .trajectory import default_frequency_grid, extract_tft, snapshot_transfer_function
+
+__all__ = [
+    "JacobianSnapshot",
+    "SnapshotTrajectory",
+    "StateEstimator",
+    "DelayLine",
+    "TFTDataset",
+    "extract_tft",
+    "snapshot_transfer_function",
+    "default_frequency_grid",
+]

@@ -1,0 +1,208 @@
+"""The Transfer Function Trajectory dataset (the "TFT hyperplane").
+
+A :class:`TFTDataset` holds the state-dependent transfer functions
+``H^(k)_{lm}(s)`` sampled on a grid of frequencies for every captured circuit
+state ``k``, together with the low-dimensional state-estimator coordinates
+``x^(k)``.  It is the object plotted in the paper's Fig. 6 and the input to
+the Recursive Vector Fitting model extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = ["TFTDataset"]
+
+
+@dataclass
+class TFTDataset:
+    """State x frequency samples of the circuit's small-signal response.
+
+    Attributes
+    ----------
+    frequencies:
+        Frequency grid in Hz, shape ``(L,)``.
+    states:
+        State-estimator coordinates ``x^(k)``, shape ``(K, q)``.
+    response:
+        Complex transfer functions ``H^(k)(s_l)``, shape ``(K, L, M_o, M_i)``.
+    dc_response:
+        Instantaneous DC (``s = 0``) transfer functions, shape ``(K, M_o, M_i)``.
+    times:
+        Time stamps of the originating snapshots, shape ``(K,)`` (optional).
+    """
+
+    frequencies: np.ndarray
+    states: np.ndarray
+    response: np.ndarray
+    dc_response: np.ndarray
+    times: np.ndarray | None = None
+    outputs: np.ndarray | None = None
+    input_names: list[str] = field(default_factory=list)
+    output_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.frequencies = np.asarray(self.frequencies, dtype=float).ravel()
+        self.states = np.atleast_2d(np.asarray(self.states, dtype=float))
+        if self.states.shape[0] != self.response.shape[0]:
+            self.states = self.states.T
+        self.response = np.asarray(self.response, dtype=complex)
+        if self.response.ndim == 2:
+            self.response = self.response[:, :, None, None]
+        self.dc_response = np.asarray(self.dc_response, dtype=complex)
+        if self.dc_response.ndim == 1:
+            self.dc_response = self.dc_response[:, None, None]
+        k, l = self.response.shape[:2]
+        if self.frequencies.size != l:
+            raise ReproError(
+                f"response has {l} frequency samples but grid has {self.frequencies.size}")
+        if self.states.shape[0] != k:
+            raise ReproError(
+                f"response has {k} states but {self.states.shape[0]} state vectors given")
+        if self.outputs is not None:
+            self.outputs = np.atleast_2d(np.asarray(self.outputs, dtype=float))
+            if self.outputs.shape[0] != k:
+                self.outputs = self.outputs.T
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def n_states(self) -> int:
+        return int(self.response.shape[0])
+
+    @property
+    def n_frequencies(self) -> int:
+        return int(self.response.shape[1])
+
+    @property
+    def n_outputs(self) -> int:
+        return int(self.response.shape[2])
+
+    @property
+    def n_inputs(self) -> int:
+        return int(self.response.shape[3])
+
+    @property
+    def state_dimension(self) -> int:
+        return int(self.states.shape[1])
+
+    def state_axis(self, dimension: int = 0) -> np.ndarray:
+        """One coordinate of the state estimator for every sample, shape ``(K,)``."""
+        return self.states[:, dimension]
+
+    # ------------------------------------------------------------- SISO views
+    def siso_response(self, output: int = 0, input_: int = 0) -> np.ndarray:
+        """Full response for one input/output pair, shape ``(K, L)``."""
+        return self.response[:, :, output, input_]
+
+    def siso_dc(self, output: int = 0, input_: int = 0) -> np.ndarray:
+        """Instantaneous DC gains along the trajectory, shape ``(K,)``."""
+        return self.dc_response[:, output, input_]
+
+    def dynamic_response(self, output: int = 0, input_: int = 0) -> np.ndarray:
+        """Dynamic part ``H(s) - H(0)`` (paper's H-bar), shape ``(K, L)``."""
+        return self.siso_response(output, input_) - self.siso_dc(output, input_)[:, None]
+
+    def gain_db(self, output: int = 0, input_: int = 0) -> np.ndarray:
+        """Gain surface in dB, shape ``(K, L)`` (the paper's Fig. 6 top)."""
+        magnitude = np.abs(self.siso_response(output, input_))
+        return 20.0 * np.log10(np.maximum(magnitude, 1e-300))
+
+    def phase_deg(self, output: int = 0, input_: int = 0, unwrap: bool = True) -> np.ndarray:
+        """Phase surface in degrees, unwrapped along the frequency axis."""
+        phase = np.angle(self.siso_response(output, input_))
+        if unwrap:
+            phase = np.unwrap(phase, axis=1)
+        return np.degrees(phase)
+
+    # ------------------------------------------------------------ manipulation
+    def sorted_by_state(self, dimension: int = 0) -> "TFTDataset":
+        """Copy with samples ordered by one state coordinate (for plotting)."""
+        order = np.argsort(self.states[:, dimension], kind="stable")
+        return TFTDataset(
+            frequencies=self.frequencies.copy(),
+            states=self.states[order],
+            response=self.response[order],
+            dc_response=self.dc_response[order],
+            times=None if self.times is None else self.times[order],
+            outputs=None if self.outputs is None else self.outputs[order],
+            input_names=list(self.input_names),
+            output_names=list(self.output_names),
+        )
+
+    def subsample_states(self, max_states: int) -> "TFTDataset":
+        """Uniformly thin the state axis to at most ``max_states`` samples."""
+        if max_states < 2:
+            raise ReproError("need at least two states")
+        if self.n_states <= max_states:
+            return self
+        indices = np.unique(np.linspace(0, self.n_states - 1, max_states).astype(int))
+        return TFTDataset(
+            frequencies=self.frequencies.copy(),
+            states=self.states[indices],
+            response=self.response[indices],
+            dc_response=self.dc_response[indices],
+            times=None if self.times is None else self.times[indices],
+            outputs=None if self.outputs is None else self.outputs[indices],
+            input_names=list(self.input_names),
+            output_names=list(self.output_names),
+        )
+
+    def restrict_frequencies(self, f_min: float, f_max: float) -> "TFTDataset":
+        """Copy restricted to the frequency band ``[f_min, f_max]``."""
+        mask = (self.frequencies >= f_min) & (self.frequencies <= f_max)
+        if not np.any(mask):
+            raise ReproError("no frequency samples inside the requested band")
+        return TFTDataset(
+            frequencies=self.frequencies[mask],
+            states=self.states.copy(),
+            response=self.response[:, mask],
+            dc_response=self.dc_response.copy(),
+            times=None if self.times is None else self.times.copy(),
+            outputs=None if self.outputs is None else self.outputs.copy(),
+            input_names=list(self.input_names),
+            output_names=list(self.output_names),
+        )
+
+    # ------------------------------------------------------------ persistence
+    def save(self, path: str | Path) -> None:
+        """Serialise to a NumPy ``.npz`` archive."""
+        np.savez_compressed(
+            Path(path),
+            frequencies=self.frequencies,
+            states=self.states,
+            response=self.response,
+            dc_response=self.dc_response,
+            times=np.array([]) if self.times is None else self.times,
+            outputs=np.array([]) if self.outputs is None else self.outputs,
+            input_names=np.array(self.input_names, dtype=object),
+            output_names=np.array(self.output_names, dtype=object),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TFTDataset":
+        """Load a dataset saved with :meth:`save`."""
+        archive = np.load(Path(path), allow_pickle=True)
+        times = archive["times"]
+        outputs = archive["outputs"] if "outputs" in archive else np.array([])
+        return cls(
+            frequencies=archive["frequencies"],
+            states=archive["states"],
+            response=archive["response"],
+            dc_response=archive["dc_response"],
+            times=None if times.size == 0 else times,
+            outputs=None if outputs.size == 0 else outputs,
+            input_names=[str(n) for n in archive["input_names"]],
+            output_names=[str(n) for n in archive["output_names"]],
+        )
+
+    def describe(self) -> str:
+        lo, hi = self.state_axis().min(), self.state_axis().max()
+        return (f"TFT dataset: {self.n_states} states x {self.n_frequencies} frequencies, "
+                f"{self.n_outputs} output(s) x {self.n_inputs} input(s), "
+                f"state axis [{lo:.3f}, {hi:.3f}], "
+                f"frequency span [{self.frequencies[0]:.3g}, {self.frequencies[-1]:.3g}] Hz")

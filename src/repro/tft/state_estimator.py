@@ -1,0 +1,112 @@
+"""Low-dimensional state estimators built from delayed input samples.
+
+The TFT method maps each sampled circuit state ``k`` onto a low-dimensional
+vector ``x(t_k)`` composed of the input and delayed copies of the input
+(paper eq. (4)):
+
+.. math:: k \\;\\rightarrow\\; x(t) = (u(t), u(t-\\Delta_1), \\ldots, u(t-\\Delta_{q-1}))
+
+For the output-buffer demonstrator a single dimension ``x = u(t)`` is enough
+(the paper's Fig. 6 uses exactly that), but the classes here support an
+arbitrary number of delays so MIMO / higher-order embeddings can be built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = ["StateEstimator", "DelayLine"]
+
+
+@dataclass
+class StateEstimator:
+    """Delayed-input embedding ``x(t) = (u(t), u(t - delays[0]), ...)``.
+
+    ``delays`` is the tuple of *additional* delays; the undelayed input is
+    always the first coordinate, so ``dimension == len(delays) + 1``.
+    ``input_index`` selects which circuit input is embedded (SISO circuits
+    have a single input).
+    """
+
+    delays: tuple[float, ...] = ()
+    input_index: int = 0
+
+    def __post_init__(self) -> None:
+        delays = tuple(float(d) for d in self.delays)
+        if any(d <= 0 for d in delays):
+            raise ReproError("state-estimator delays must be positive")
+        self.delays = tuple(sorted(delays))
+
+    @property
+    def dimension(self) -> int:
+        """Dimension ``q`` of the state estimator."""
+        return len(self.delays) + 1
+
+    def embed(self, times: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Embed a sampled input waveform; returns ``(K, q)``.
+
+        ``inputs`` may be 1-D (one input) or 2-D ``(K, M_i)``; delayed values
+        are obtained by linear interpolation of the sampled waveform, and
+        times before the start of the record clamp to the first sample
+        (the circuit is assumed to sit at its DC point before ``t=0``).
+        """
+        times = np.asarray(times, dtype=float).ravel()
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim == 2:
+            inputs = inputs[:, self.input_index]
+        if times.size != inputs.size:
+            raise ReproError("times and inputs must have the same length")
+        columns = [inputs]
+        for delay in self.delays:
+            delayed_times = np.clip(times - delay, times[0], times[-1])
+            columns.append(np.interp(delayed_times, times, inputs))
+        return np.column_stack(columns)
+
+    def embed_snapshot_trajectory(self, trajectory) -> np.ndarray:
+        """Embed the inputs recorded in a :class:`SnapshotTrajectory`."""
+        return self.embed(trajectory.times, trajectory.inputs())
+
+    def delay_line(self, initial_value: float = 0.0) -> "DelayLine":
+        """Streaming evaluator for time-domain model simulation."""
+        return DelayLine(self.delays, initial_value)
+
+
+class DelayLine:
+    """Streaming delayed-input evaluator used during model simulation.
+
+    The Hammerstein model needs ``x(t)`` at every integration step; this class
+    keeps a short history of ``(t, u)`` samples and produces the delayed
+    coordinates by interpolation, so the extracted model can be simulated with
+    any step size without storing the whole waveform up front.
+    """
+
+    def __init__(self, delays: tuple[float, ...], initial_value: float = 0.0) -> None:
+        self.delays = tuple(float(d) for d in delays)
+        self._history_t: list[float] = []
+        self._history_u: list[float] = []
+        self._initial_value = float(initial_value)
+        self._max_delay = max(self.delays) if self.delays else 0.0
+
+    def push(self, t: float, u: float) -> np.ndarray:
+        """Record ``u(t)`` and return the embedded vector ``x(t)``."""
+        self._history_t.append(float(t))
+        self._history_u.append(float(u))
+        # Trim history older than the largest delay (keep a small margin).
+        if self._max_delay > 0 and len(self._history_t) > 2:
+            cutoff = t - 2.0 * self._max_delay
+            while len(self._history_t) > 2 and self._history_t[1] < cutoff:
+                self._history_t.pop(0)
+                self._history_u.pop(0)
+        coords = [u]
+        for delay in self.delays:
+            coords.append(self._value_at(t - delay))
+        return np.array(coords)
+
+    def _value_at(self, t: float) -> float:
+        if not self._history_t or t <= self._history_t[0]:
+            return self._history_u[0] if self._history_u else self._initial_value
+        return float(np.interp(t, self._history_t, self._history_u))

@@ -1,0 +1,106 @@
+"""Engineering-unit helpers used by the netlist parser and reports.
+
+SPICE netlists express component values with engineering suffixes
+(``10k``, ``2.5u``, ``1meg``), and the analysis reports print values back in
+the same style.  This module provides the two directions:
+
+* :func:`parse_value` — turn a netlist token into a ``float``.
+* :func:`format_si` — render a ``float`` with an SI prefix for reports.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .exceptions import NetlistParseError
+
+__all__ = ["parse_value", "format_si", "SI_PREFIXES"]
+
+# Suffixes accepted by the netlist parser (SPICE convention, case-insensitive).
+# ``meg`` must be matched before ``m`` (milli); the regex below handles that by
+# matching the longest alphabetic suffix and looking it up here.
+_SPICE_SUFFIXES = {
+    "t": 1e12,
+    "g": 1e9,
+    "meg": 1e6,
+    "x": 1e6,
+    "k": 1e3,
+    "m": 1e-3,
+    "u": 1e-6,
+    "µ": 1e-6,
+    "n": 1e-9,
+    "p": 1e-12,
+    "f": 1e-15,
+    "a": 1e-18,
+}
+
+#: SI prefixes used when formatting values for reports, largest first.
+SI_PREFIXES = [
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+]
+
+_VALUE_RE = re.compile(
+    r"""^\s*
+        (?P<number>[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+        (?P<suffix>[a-zA-Zµ]*)
+        \s*$""",
+    re.VERBOSE,
+)
+
+
+def parse_value(token: str | float | int) -> float:
+    """Parse a SPICE-style value token such as ``"10k"`` or ``"2.5u"``.
+
+    Numeric inputs are passed through unchanged.  Unknown alphabetic
+    suffixes are tolerated the SPICE way: only the leading recognised prefix
+    counts (``100pF`` parses as ``100e-12``), but a completely unknown suffix
+    on its own raises :class:`~repro.exceptions.NetlistParseError`.
+    """
+    if isinstance(token, (int, float)):
+        return float(token)
+    match = _VALUE_RE.match(token)
+    if match is None:
+        raise NetlistParseError(f"cannot parse value {token!r}")
+    value = float(match.group("number"))
+    suffix = match.group("suffix").lower()
+    if not suffix:
+        return value
+    if suffix.startswith("meg"):
+        return value * 1e6
+    prefix = suffix[0]
+    if prefix in _SPICE_SUFFIXES:
+        return value * _SPICE_SUFFIXES[prefix]
+    # A bare unit such as "V", "Hz" or "Ohm" carries no scale factor.
+    if suffix.isalpha():
+        return value
+    raise NetlistParseError(f"unknown unit suffix {suffix!r} in {token!r}")
+
+
+def format_si(value: float, unit: str = "", digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``format_si(2.2e-9, "s")``.
+
+    Zero, NaN and infinities are printed literally.  The number of significant
+    digits defaults to three, which matches the precision used in the paper's
+    tables.
+    """
+    if value == 0:
+        return f"0 {unit}".strip()
+    if math.isnan(value) or math.isinf(value):
+        return f"{value} {unit}".strip()
+    magnitude = abs(value)
+    for scale, prefix in SI_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            return f"{scaled:.{digits}g} {prefix}{unit}".strip()
+    scale, prefix = SI_PREFIXES[-1]
+    return f"{value / scale:.{digits}g} {prefix}{unit}".strip()

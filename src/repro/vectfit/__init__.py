@@ -1,0 +1,35 @@
+"""(Relaxed) vector fitting of frequency responses and residue trajectories."""
+
+from .basis import basis_matrix, coefficients_to_residues, residues_to_coefficients
+from .orders import AutoFitReport, fit_auto_order
+from .poles import (
+    flip_unstable,
+    initial_complex_poles,
+    initial_real_poles,
+    initial_state_poles,
+    sort_poles,
+    split_real_complex,
+    zero_phase_pairs,
+)
+from .rational import RationalFunction
+from .vectorfit import VectorFitOptions, VectorFitResult, evaluate_model, vector_fit
+
+__all__ = [
+    "vector_fit",
+    "VectorFitOptions",
+    "VectorFitResult",
+    "evaluate_model",
+    "fit_auto_order",
+    "AutoFitReport",
+    "RationalFunction",
+    "initial_complex_poles",
+    "initial_real_poles",
+    "initial_state_poles",
+    "flip_unstable",
+    "sort_poles",
+    "split_real_complex",
+    "zero_phase_pairs",
+    "basis_matrix",
+    "coefficients_to_residues",
+    "residues_to_coefficients",
+]

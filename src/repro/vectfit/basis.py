@@ -1,0 +1,106 @@
+"""Partial-fraction basis construction for vector fitting.
+
+Two coefficient conventions are supported:
+
+* **real mode** — the classic VF basis for frequency responses of real
+  systems: real poles contribute one column ``1/(s-a)``; each complex
+  conjugate pair contributes the two real-coefficient columns
+  ``1/(s-a) + 1/(s-a*)`` and ``j/(s-a) - j/(s-a*)``.  Solving a real
+  least-squares problem in these coefficients automatically produces
+  conjugate-symmetric residues.
+* **complex mode** — one column ``1/(s-a)`` per pole with complex
+  coefficients.  This is used for fitting residue trajectories along the
+  state axis, where the data is a general complex function of a real
+  variable and carries no conjugate symmetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .poles import split_real_complex
+
+__all__ = [
+    "basis_matrix",
+    "coefficients_to_residues",
+    "residues_to_coefficients",
+    "n_coefficients",
+]
+
+
+def n_coefficients(poles: np.ndarray, real_mode: bool) -> int:
+    """Number of basis coefficients for a pole set in the given mode."""
+    return len(poles) if not real_mode else len(poles)
+
+
+def basis_matrix(svals: np.ndarray, poles: np.ndarray, real_mode: bool) -> np.ndarray:
+    """Complex basis matrix ``Phi`` with one row per sample.
+
+    In real mode the columns are ordered: one column per real pole followed by
+    two columns per conjugate pair (in the canonical pole ordering of
+    :func:`repro.vectfit.poles.sort_poles`).  In complex mode there is simply
+    one column per pole.
+    """
+    svals = np.asarray(svals, dtype=complex).ravel()
+    poles = np.asarray(poles, dtype=complex)
+    if not real_mode:
+        return 1.0 / (svals[:, None] - poles[None, :])
+
+    real_idx, pair_idx = split_real_complex(poles)
+    columns: list[np.ndarray] = []
+    for i in real_idx:
+        columns.append(1.0 / (svals - poles[i]))
+    for i in pair_idx:
+        a = poles[i]
+        phi_plus = 1.0 / (svals - a)
+        phi_minus = 1.0 / (svals - np.conj(a))
+        columns.append(phi_plus + phi_minus)
+        columns.append(1j * phi_plus - 1j * phi_minus)
+    if not columns:
+        return np.zeros((svals.size, 0), dtype=complex)
+    return np.column_stack(columns)
+
+
+def coefficients_to_residues(coefficients: np.ndarray, poles: np.ndarray,
+                             real_mode: bool) -> np.ndarray:
+    """Convert basis coefficients into one complex residue per pole.
+
+    The returned array is aligned with ``poles``; in real mode the residues of
+    a conjugate pair are themselves conjugate.
+    """
+    coefficients = np.asarray(coefficients)
+    poles = np.asarray(poles, dtype=complex)
+    if not real_mode:
+        return coefficients.astype(complex)
+
+    residues = np.zeros(len(poles), dtype=complex)
+    real_idx, pair_idx = split_real_complex(poles)
+    cursor = 0
+    for i in real_idx:
+        residues[i] = coefficients[cursor]
+        cursor += 1
+    for i in pair_idx:
+        cr = coefficients[cursor]
+        ci = coefficients[cursor + 1]
+        cursor += 2
+        residues[i] = cr + 1j * ci
+        # The conjugate partner immediately follows in canonical ordering.
+        residues[i + 1] = cr - 1j * ci
+    return residues
+
+
+def residues_to_coefficients(residues: np.ndarray, poles: np.ndarray,
+                             real_mode: bool) -> np.ndarray:
+    """Inverse of :func:`coefficients_to_residues` (used by tests)."""
+    residues = np.asarray(residues, dtype=complex)
+    poles = np.asarray(poles, dtype=complex)
+    if not real_mode:
+        return residues.copy()
+    real_idx, pair_idx = split_real_complex(poles)
+    coefficients: list[float] = []
+    for i in real_idx:
+        coefficients.append(residues[i].real)
+    for i in pair_idx:
+        coefficients.append(residues[i].real)
+        coefficients.append(residues[i].imag)
+    return np.array(coefficients)

@@ -1,0 +1,100 @@
+"""Automatic model-order selection for vector fitting.
+
+Algorithm 1 of the paper increments the number of poles by two until the fit
+error drops below the user-supplied bound ``epsilon``; this module implements
+that loop for the frequency axis and for the state axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import FittingError
+from .poles import initial_complex_poles
+from .vectorfit import VectorFitOptions, VectorFitResult, vector_fit
+
+__all__ = ["AutoFitReport", "fit_auto_order"]
+
+
+@dataclass
+class AutoFitReport:
+    """History of an automatic order search."""
+
+    result: VectorFitResult
+    orders_tried: list[int]
+    errors: list[float]
+    error_bound: float
+    converged: bool
+
+    @property
+    def order(self) -> int:
+        return self.result.n_poles
+
+
+def fit_auto_order(svals: np.ndarray, data: np.ndarray, error_bound: float,
+                   *, start_order: int = 2, max_order: int = 40, order_step: int = 2,
+                   options: VectorFitOptions | None = None,
+                   initial_pole_factory=None,
+                   stagnation_factor: float | None = 0.75) -> AutoFitReport:
+    """Increase the model order until the relative RMS error drops below the bound.
+
+    Parameters
+    ----------
+    svals, data:
+        Same conventions as :func:`repro.vectfit.vector_fit` (``data`` is
+        ``(K, L)``, possibly with ``K = 1``).
+    error_bound:
+        Target *relative* RMS error (the paper's epsilon).
+    start_order / max_order / order_step:
+        Search range for the number of poles (the paper increments by 2).
+    initial_pole_factory:
+        Callable ``f(order) -> poles``; defaults to log-spaced complex pairs
+        spanning the imaginary parts of ``svals``.
+    stagnation_factor:
+        Stop enlarging the model once an order increment fails to improve the
+        error below ``stagnation_factor * best_error_so_far`` (data measured
+        along a trajectory has an intrinsic noise floor).  ``None`` disables
+        the guard.
+    """
+    if error_bound <= 0:
+        raise FittingError("error_bound must be positive")
+    svals = np.asarray(svals, dtype=complex).ravel()
+    data = np.atleast_2d(np.asarray(data, dtype=complex))
+    opts = options or VectorFitOptions()
+
+    if initial_pole_factory is None:
+        span = np.abs(svals.imag)
+        span = span[span > 0]
+        if span.size == 0:
+            raise FittingError("cannot derive a default pole range from svals")
+        f_min = float(span.min()) / (2.0 * np.pi)
+        f_max = float(span.max()) / (2.0 * np.pi)
+
+        def initial_pole_factory(order: int) -> np.ndarray:
+            return initial_complex_poles(f_min, f_max, order)
+
+    orders_tried: list[int] = []
+    errors: list[float] = []
+    best: VectorFitResult | None = None
+
+    # Never attempt an order the sample count cannot support.
+    max_supported = max(1, svals.size - 2)
+    effective_max = min(max_order, max_supported)
+
+    order = min(start_order, effective_max)
+    while True:
+        result = vector_fit(svals, data, initial_pole_factory(order), opts)
+        orders_tried.append(order)
+        errors.append(result.relative_error)
+        if best is None or result.relative_error < best.relative_error:
+            best = result
+        if result.relative_error <= error_bound:
+            return AutoFitReport(result, orders_tried, errors, error_bound, True)
+        if order >= effective_max:
+            return AutoFitReport(best, orders_tried, errors, error_bound, False)
+        if (stagnation_factor is not None and len(errors) >= 2
+                and errors[-1] > stagnation_factor * min(errors[:-1])):
+            return AutoFitReport(best, orders_tried, errors, error_bound, False)
+        order = min(order + order_step, effective_max)

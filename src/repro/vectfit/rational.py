@@ -1,0 +1,161 @@
+"""Scalar pole-residue rational functions.
+
+:class:`RationalFunction` is the lightweight value type used to pass around a
+single fitted response (one state snapshot, one residue trajectory, ...).  It
+knows how to evaluate itself, how to report stability and how to convert to
+the real state-space forms of the paper's Section III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ModelError
+from .poles import sort_poles, split_real_complex
+
+__all__ = ["RationalFunction"]
+
+
+@dataclass
+class RationalFunction:
+    """``H(s) = sum_p residues[p]/(s - poles[p]) + constant + proportional*s``."""
+
+    poles: np.ndarray
+    residues: np.ndarray
+    constant: complex = 0.0
+    proportional: complex = 0.0
+
+    def __post_init__(self) -> None:
+        self.poles = np.asarray(self.poles, dtype=complex)
+        self.residues = np.asarray(self.residues, dtype=complex)
+        if self.poles.shape != self.residues.shape:
+            raise ModelError("poles and residues must have the same shape")
+
+    @property
+    def order(self) -> int:
+        return int(self.poles.size)
+
+    # ---------------------------------------------------------------- evaluate
+    def __call__(self, svals: np.ndarray | complex) -> np.ndarray | complex:
+        scalar = np.isscalar(svals)
+        s = np.atleast_1d(np.asarray(svals, dtype=complex))
+        values = np.full(s.shape, complex(self.constant), dtype=complex)
+        values += complex(self.proportional) * s
+        for pole, residue in zip(self.poles, self.residues):
+            values += residue / (s - pole)
+        return complex(values[0]) if scalar else values
+
+    def dc_value(self) -> complex:
+        """Value at ``s = 0``."""
+        return self(0.0)
+
+    # --------------------------------------------------------------- stability
+    def is_stable(self) -> bool:
+        return bool(np.all(self.poles.real < 0.0))
+
+    def is_real(self, tolerance: float = 1e-9) -> bool:
+        """True when the function maps the imaginary axis conjugate-symmetrically.
+
+        Equivalent to the poles/residues being closed under conjugation and the
+        constant/proportional terms being real, i.e. the impulse response is a
+        real signal.
+        """
+        poles = sort_poles(self.poles)
+        if not np.allclose(np.sort_complex(poles), np.sort_complex(self.poles.conj()),
+                           atol=tolerance * (1 + np.abs(poles).max(initial=0.0))):
+            return False
+        if abs(np.imag(self.constant)) > tolerance or abs(np.imag(self.proportional)) > tolerance:
+            return False
+        test = np.array([0.7j, 2.3j, 17.1j])
+        return bool(np.allclose(self(test), np.conj(self(-test)), atol=1e-8,
+                                rtol=1e-6))
+
+    # ------------------------------------------------------------- state space
+    def to_state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Real state-space realisation ``(A, B, C, E)`` of the strictly proper part.
+
+        Follows the paper's eqs. (9)-(10): real poles give scalar sections
+        ``(a, 1, r)``; each complex pair gives the 2x2 rotation block with
+        ``B = [2, 0]`` and ``C = [Re r, Im r]``.  The direct term ``E`` is the
+        constant; a non-zero ``proportional`` term cannot be realised in this
+        form and raises :class:`~repro.exceptions.ModelError`.
+        """
+        if abs(self.proportional) > 0.0:
+            raise ModelError("proportional (s*E) terms have no minimal realisation here")
+        poles = sort_poles(self.poles)
+        residues = self._residues_for(poles)
+        real_idx, pair_idx = split_real_complex(poles)
+        n_states = len(real_idx) + 2 * len(pair_idx)
+        a_mat = np.zeros((n_states, n_states))
+        b_vec = np.zeros(n_states)
+        c_vec = np.zeros(n_states)
+        cursor = 0
+        for i in real_idx:
+            a_mat[cursor, cursor] = poles[i].real
+            b_vec[cursor] = 1.0
+            c_vec[cursor] = residues[i].real
+            cursor += 1
+        for i in pair_idx:
+            sigma, omega = poles[i].real, poles[i].imag
+            a_mat[cursor:cursor + 2, cursor:cursor + 2] = [[sigma, omega], [-omega, sigma]]
+            b_vec[cursor] = 2.0
+            c_vec[cursor] = residues[i].real
+            c_vec[cursor + 1] = residues[i].imag
+            cursor += 2
+        return a_mat, b_vec, c_vec, float(np.real(self.constant))
+
+    def to_input_shifted_state_space(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, float]:
+        """Input-shifted realisation ``(A, R, D, E)`` of the paper's eqs. (12)-(14).
+
+        The state-dependent residue is moved in front of the linear filter
+        (paper Fig. 4, bottom), which is the form compatible with the parallel
+        Hammerstein model: ``B`` becomes the residue-dependent vector ``R`` and
+        the output row ``D`` becomes constant.
+        """
+        if abs(self.proportional) > 0.0:
+            raise ModelError("proportional (s*E) terms have no minimal realisation here")
+        poles = sort_poles(self.poles)
+        residues = self._residues_for(poles)
+        real_idx, pair_idx = split_real_complex(poles)
+        n_states = len(real_idx) + 2 * len(pair_idx)
+        a_mat = np.zeros((n_states, n_states))
+        r_vec = np.zeros(n_states)
+        d_vec = np.zeros(n_states)
+        cursor = 0
+        for i in real_idx:
+            a_mat[cursor, cursor] = poles[i].real
+            r_vec[cursor] = residues[i].real
+            d_vec[cursor] = 1.0
+            cursor += 1
+        for i in pair_idx:
+            sigma, omega = poles[i].real, poles[i].imag
+            a_mat[cursor:cursor + 2, cursor:cursor + 2] = [[sigma, omega], [-omega, sigma]]
+            # Paper eq. (14): R = [Re r + Im r, Re r - Im r], D = [1, 1].
+            r_vec[cursor] = residues[i].real + residues[i].imag
+            r_vec[cursor + 1] = residues[i].real - residues[i].imag
+            d_vec[cursor] = 1.0
+            d_vec[cursor + 1] = 1.0
+            cursor += 2
+        return a_mat, r_vec, d_vec, float(np.real(self.constant))
+
+    # ---------------------------------------------------------------- utilities
+    def _residues_for(self, sorted_poles: np.ndarray) -> np.ndarray:
+        """Residues re-ordered to match ``sorted_poles``."""
+        residues = np.zeros(len(sorted_poles), dtype=complex)
+        available = list(range(len(self.poles)))
+        for i, pole in enumerate(sorted_poles):
+            best_j = min(available, key=lambda j: abs(self.poles[j] - pole))
+            residues[i] = self.residues[best_j]
+            available.remove(best_j)
+        return residues
+
+    def without_constant(self) -> "RationalFunction":
+        """Copy with the direct (constant) term removed — the "dynamic part"."""
+        return RationalFunction(self.poles.copy(), self.residues.copy(), 0.0,
+                                self.proportional)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (f"RationalFunction(order={self.order}, stable={self.is_stable()}, "
+                f"constant={self.constant:+.3e})")

@@ -1,0 +1,246 @@
+"""Tests for the end-to-end RVF extraction, model export and the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CaffeineOptions,
+    PolynomialFunction,
+    default_basis_library,
+    extract_caffeine_model,
+    fit_caffeine,
+    fit_polynomial,
+)
+from repro.circuit import Sine, TransientOptions, transient_analysis
+from repro.circuits import build_rc_ladder
+from repro.exceptions import FittingError, ModelError
+from repro.rvf import (
+    RVFOptions,
+    extract_rvf_model,
+    model_equations,
+    simulate_hammerstein,
+    to_python_callable,
+    to_verilog_a,
+)
+from repro.tft import SnapshotTrajectory, default_frequency_grid, extract_tft
+
+from .conftest import build_nonlinear_lowpass
+
+
+class TestRVFExtraction:
+    def test_reproduces_training_hyperplane(self, nonlinear_tft, nonlinear_rvf):
+        surface = nonlinear_rvf.model_surface()
+        data = nonlinear_tft.siso_response()
+        relative = (np.sqrt(np.mean(np.abs(surface - data) ** 2))
+                    / np.sqrt(np.mean(np.abs(data) ** 2)))
+        assert relative < 5e-3
+
+    def test_model_is_stable(self, nonlinear_rvf):
+        assert nonlinear_rvf.model.is_stable()
+
+    def test_dc_point_reproduced(self, nonlinear_tft, nonlinear_rvf):
+        model = nonlinear_rvf.model
+        # At the DC input and in equilibrium the model output equals the
+        # circuit's DC output (integration constants pinned there).
+        times = np.linspace(0.0, 1e-6, 50)
+        inputs = np.full_like(times, model.dc_input)
+        result = simulate_hammerstein(model, times, inputs)
+        assert np.allclose(result.outputs, model.dc_output, atol=1e-9)
+
+    def test_dc_transfer_matches_instantaneous_gain_data(self, nonlinear_tft, nonlinear_rvf):
+        model = nonlinear_rvf.model
+        states = nonlinear_tft.state_axis()
+        model_dc = model.dc_transfer(states)
+        data_dc = nonlinear_tft.siso_dc().real
+        assert np.sqrt(np.mean((model_dc - data_dc) ** 2)) < 2e-2 * np.max(np.abs(data_dc))
+
+    def test_orders_recorded_in_metadata(self, nonlinear_rvf):
+        meta = nonlinear_rvf.model.metadata
+        assert meta.n_frequency_poles == nonlinear_rvf.n_frequency_poles
+        assert meta.n_state_poles == nonlinear_rvf.n_state_poles
+        assert meta.build_time_seconds > 0.0
+
+    def test_generalisation_to_unseen_input(self, nonlinear_rvf):
+        from repro.circuit.waveforms import BitPattern, prbs_bits
+        pattern = BitPattern(bits=prbs_bits(12), bit_rate=2e6, low=0.2, high=1.0)
+        circuit = build_nonlinear_lowpass(pattern, name="nl_validation")
+        system = circuit.build()
+        reference = transient_analysis(system, TransientOptions(t_stop=pattern.duration,
+                                                                dt=2e-9))
+        result = simulate_hammerstein(nonlinear_rvf.model, reference.times,
+                                      reference.inputs[:, 0])
+        rmse = np.sqrt(np.mean((reference.outputs[:, 0] - result.outputs) ** 2))
+        assert rmse < 0.05 * (reference.outputs.max() - reference.outputs.min())
+
+    def test_linear_circuit_extraction_matches_transfer_function(self):
+        circuit = build_rc_ladder(1, resistance=1e3, capacitance=1e-9,
+                                  input_waveform=Sine(0.5, 0.3, 1e4))
+        system = circuit.build()
+        trajectory = SnapshotTrajectory(system)
+        transient_analysis(system, TransientOptions(t_stop=1e-4, dt=1e-6),
+                           snapshot_callback=trajectory)
+        tft = extract_tft(trajectory, default_frequency_grid(1e3, 1e8, 5), max_snapshots=50)
+        extraction = extract_rvf_model(tft, RVFOptions(error_bound=1e-4))
+        freqs = tft.frequencies
+        surface = extraction.model.transfer_function(np.array([[0.5]]), freqs)[0]
+        expected = 1.0 / (1.0 + 2j * np.pi * freqs * 1e3 * 1e-9)
+        assert np.max(np.abs(surface - expected)) < 5e-3
+
+    def test_multidimensional_state_estimator_rejected(self, nonlinear_tft):
+        from repro.tft import TFTDataset
+        bad = TFTDataset(
+            frequencies=nonlinear_tft.frequencies,
+            states=np.column_stack([nonlinear_tft.state_axis(),
+                                    nonlinear_tft.state_axis()]),
+            response=nonlinear_tft.response,
+            dc_response=nonlinear_tft.dc_response,
+        )
+        with pytest.raises(ModelError):
+            extract_rvf_model(bad)
+
+    def test_invalid_error_bound_rejected(self):
+        with pytest.raises(FittingError):
+            RVFOptions(error_bound=0.0)
+
+    def test_summary_mentions_pole_counts(self, nonlinear_rvf):
+        text = nonlinear_rvf.summary()
+        assert "frequency poles" in text and "state poles" in text
+
+
+class TestModelExport:
+    def test_equations_listing_contains_all_branches(self, nonlinear_rvf):
+        text = model_equations(nonlinear_rvf.model)
+        assert text.count("d/dt y") == nonlinear_rvf.model.n_branches
+        assert "F0(" in text
+        assert "stable by construction: True" in text
+
+    def test_verilog_a_module_structure(self, nonlinear_rvf):
+        text = to_verilog_a(nonlinear_rvf.model, module_name="buffer_model")
+        assert "module buffer_model" in text
+        assert "analog begin" in text
+        assert "endmodule" in text
+
+    def test_python_callable_consistent_with_simulator(self, nonlinear_rvf):
+        model = nonlinear_rvf.model
+        rhs = to_python_callable(model)
+        state = rhs.initial_state(model.dc_input)
+        assert state.shape == (model.dynamic_order,)
+        # In equilibrium the derivatives vanish and the output is the DC output.
+        derivative = rhs(0.0, state, model.dc_input)
+        assert np.max(np.abs(derivative)) < 1e-6
+        assert rhs.output(state, model.dc_input) == pytest.approx(model.dc_output, abs=1e-9)
+
+    def test_python_callable_derivatives_match_branch_equations(self, nonlinear_rvf):
+        model = nonlinear_rvf.model
+        rhs = to_python_callable(model)
+        u = 0.85
+        rng = np.random.default_rng(3)
+        state = rng.normal(scale=0.1, size=model.dynamic_order)
+        derivative = rhs(0.0, state, u)
+        # Reconstruct the expected derivatives branch by branch:
+        # dy/dt = a*y + f(u) with complex branches stored as [Re, Im].
+        cursor = 0
+        for branch in model.branches:
+            from repro.rvf.hammerstein import _evaluate_state_function
+            v = complex(_evaluate_state_function(branch.static_function, np.array([u]))[0])
+            a = branch.pole
+            if branch.is_complex_pair:
+                y = complex(state[cursor], state[cursor + 1])
+                expected = a * y + v
+                assert derivative[cursor] == pytest.approx(expected.real, rel=1e-9, abs=1e-12)
+                assert derivative[cursor + 1] == pytest.approx(expected.imag, rel=1e-9, abs=1e-12)
+                cursor += 2
+            else:
+                expected = a.real * state[cursor] + v.real
+                assert derivative[cursor] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+                cursor += 1
+
+
+class TestCaffeineBaseline:
+    def test_basis_library_contains_integrable_and_non_integrable(self):
+        library = default_basis_library()
+        assert any(t.integrable for t in library)
+        assert any(not t.integrable for t in library)
+
+    def test_fits_polynomial_target_exactly(self):
+        x = np.linspace(-1, 1, 60)
+        y = 0.5 + 2.0 * x - 1.5 * x ** 3
+        function = fit_caffeine(x, y.astype(complex), CaffeineOptions(generations=10))
+        assert function.fit_error < 1e-8
+
+    def test_fits_saturating_target_reasonably(self):
+        x = np.linspace(0.4, 1.4, 90)
+        y = np.tanh(6 * (x - 0.9))
+        function = fit_caffeine(x, y.astype(complex), CaffeineOptions(generations=20))
+        assert function.fit_error < 0.1
+
+    def test_integrable_only_functions_integrate(self):
+        x = np.linspace(-1, 1, 50)
+        y = np.exp(-x ** 2)
+        function = fit_caffeine(x, y.astype(complex),
+                                CaffeineOptions(integrable_only=True, generations=10))
+        integral = function.integrate()
+        h = 1e-5
+        numeric = (integral(0.3 + h) - integral(0.3 - h)) / (2 * h)
+        assert numeric == pytest.approx(function(0.3), rel=1e-4, abs=1e-6)
+
+    def test_non_integrable_expression_raises(self):
+        library = default_basis_library()
+        non_integrable = [t for t in library if not t.integrable][:2]
+        from repro.baselines.caffeine import CaffeineFunction
+        f = CaffeineFunction(terms=non_integrable, coefficients=np.ones(len(non_integrable)))
+        assert not f.is_integrable
+        with pytest.raises(ModelError):
+            f.integrate()
+
+    def test_search_is_deterministic_for_fixed_seed(self):
+        x = np.linspace(0, 1, 40)
+        y = np.sin(3 * x)
+        f1 = fit_caffeine(x, y.astype(complex), CaffeineOptions(seed=7, generations=8))
+        f2 = fit_caffeine(x, y.astype(complex), CaffeineOptions(seed=7, generations=8))
+        assert [t.name for t in f1.terms] == [t.name for t in f2.terms]
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(FittingError):
+            fit_caffeine(np.linspace(0, 1, 4), np.zeros(4))
+
+    def test_extraction_produces_stable_model(self, nonlinear_tft):
+        result = extract_caffeine_model(nonlinear_tft, error_bound=1e-3,
+                                        caffeine_options=CaffeineOptions(generations=12))
+        assert result.model.is_stable()
+        assert result.n_frequency_poles >= 2
+
+    def test_extraction_less_accurate_than_rvf(self, nonlinear_tft, nonlinear_rvf):
+        caffeine = extract_caffeine_model(nonlinear_tft, error_bound=1e-3,
+                                          caffeine_options=CaffeineOptions(generations=12))
+        data = nonlinear_tft.siso_response()
+        rvf_err = np.sqrt(np.mean(np.abs(nonlinear_rvf.model_surface() - data) ** 2))
+        caffeine_err = np.sqrt(np.mean(np.abs(caffeine.model_surface() - data) ** 2))
+        assert rvf_err <= caffeine_err * 1.5
+
+    def test_restricted_basis_flow_is_flagged_manual(self, nonlinear_tft):
+        result = extract_caffeine_model(nonlinear_tft, error_bound=1e-3,
+                                        caffeine_options=CaffeineOptions(generations=8))
+        assert not result.fully_automated
+
+
+class TestPolynomialBaseline:
+    def test_exact_fit_of_polynomial(self):
+        x = np.linspace(-1, 2, 30)
+        y = 1.0 - 0.5 * x + 0.25 * x ** 2
+        f = fit_polynomial(x, y, degree=2)
+        assert np.allclose(f(x).real, y, atol=1e-9)
+
+    def test_antiderivative_calculus(self):
+        f = PolynomialFunction([1.0, 2.0, 3.0], center=0.5, scale=2.0)
+        F = f.antiderivative()
+        h = 1e-6
+        assert (F(1.0 + h) - F(1.0 - h)) / (2 * h) == pytest.approx(f(1.0), rel=1e-5)
+
+    def test_with_value_at(self):
+        f = PolynomialFunction([1.0, 1.0])
+        assert f.with_value_at(0.0, 5.0)(0.0) == pytest.approx(5.0)
+
+    def test_degree_validation(self):
+        with pytest.raises(FittingError):
+            fit_polynomial(np.linspace(0, 1, 5), np.zeros(5), degree=10)

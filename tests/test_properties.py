@@ -1,0 +1,132 @@
+"""Hypothesis property-based tests for the core numerical building blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.waveforms import BitPattern, Sine, prbs_bits
+from repro.rvf import PartialFractionFunction, basis_primitive
+from repro.rvf.timedomain import _phi1, _phi2
+from repro.units import format_si, parse_value
+from repro.vectfit import flip_unstable, sort_poles, split_real_complex
+from repro.vectfit.poles import enforce_conjugate_closure
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                          allow_infinity=False)
+
+
+class TestUnitProperties:
+    @given(st.floats(min_value=1e-14, max_value=1e13, allow_nan=False))
+    def test_format_parse_roundtrip(self, value):
+        text = format_si(value, digits=9)
+        token = text.replace(" ", "")
+        assert parse_value(token) == pytest.approx(value, rel=1e-6)
+
+    @given(st.floats(min_value=-1e12, max_value=1e12, allow_nan=False),
+           st.sampled_from(["", "k", "m", "u", "n", "p", "meg", "g"]))
+    def test_parse_value_scales_linearly(self, number, suffix):
+        scale = {"": 1.0, "k": 1e3, "m": 1e-3, "u": 1e-6, "n": 1e-9,
+                 "p": 1e-12, "meg": 1e6, "g": 1e9}[suffix]
+        assert parse_value(f"{number}{suffix}") == pytest.approx(number * scale, rel=1e-12)
+
+
+class TestPoleProperties:
+    complex_poles = st.lists(
+        st.complex_numbers(min_magnitude=1e-3, max_magnitude=1e6,
+                           allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=8)
+
+    @given(complex_poles)
+    def test_flip_unstable_makes_all_poles_stable(self, poles):
+        flipped = flip_unstable(np.array(poles))
+        assert np.all(flipped.real < 0)
+
+    @given(complex_poles)
+    def test_flip_unstable_preserves_magnitude_of_imaginary_part(self, poles):
+        poles = np.array(poles)
+        flipped = flip_unstable(poles)
+        assert np.allclose(np.abs(flipped.imag), np.abs(poles.imag))
+
+    @given(complex_poles)
+    def test_sort_poles_preserves_count(self, poles):
+        assert len(sort_poles(np.array(poles))) == len(poles)
+
+    @given(complex_poles)
+    def test_enforce_closure_is_conjugate_closed(self, poles):
+        closed = enforce_conjugate_closure(np.array(poles))
+        assert len(closed) == len(poles)
+        # Every complex pole must have a conjugate partner in the set.
+        for p in closed:
+            if p.imag != 0:
+                distances = np.abs(closed - np.conj(p))
+                assert distances.min() < 1e-9 * max(abs(p), 1.0)
+
+    @given(complex_poles)
+    def test_split_real_complex_partitions_conjugate_closed_sets(self, poles):
+        closed = sort_poles(enforce_conjugate_closure(np.array(poles)))
+        real_idx, pair_idx = split_real_complex(closed)
+        assert len(real_idx) + 2 * len(pair_idx) == len(closed)
+
+
+class TestCalculusProperties:
+    @given(st.complex_numbers(min_magnitude=1e-2, max_magnitude=10.0,
+                              allow_nan=False, allow_infinity=False),
+           st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+    def test_basis_primitive_derivative_is_basis_function(self, pole, u):
+        assume(abs(pole.real) > 1e-2)
+        h = 1e-5
+        numeric = (basis_primitive(u + h, pole) - basis_primitive(u - h, pole)) / (2 * h)
+        exact = 1.0 / (1j * u - pole)
+        assert numeric == pytest.approx(exact, rel=1e-3, abs=1e-6)
+
+    @given(st.lists(st.complex_numbers(min_magnitude=0.1, max_magnitude=5.0,
+                                       allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=4),
+           st.floats(min_value=-2.0, max_value=2.0))
+    def test_partial_fraction_antiderivative_roundtrip(self, poles, u):
+        poles = np.array([p if abs(p.real) > 0.05 else p + 0.1 for p in poles])
+        coeffs = np.ones(len(poles))
+        f = PartialFractionFunction(poles, coeffs, constant=0.3)
+        F = f.antiderivative()
+        h = 1e-5
+        numeric = (F(u + h) - F(u - h)) / (2 * h)
+        assert numeric == pytest.approx(f(u), rel=1e-3, abs=1e-5)
+
+    @given(st.floats(min_value=-30.0, max_value=30.0, allow_nan=False))
+    def test_phi_functions_match_definitions(self, z_real):
+        z = complex(z_real, 0.0)
+        assume(abs(z) > 1e-3)
+        assert complex(_phi1(z)) == pytest.approx((np.exp(z) - 1) / z, rel=1e-6)
+        assert complex(_phi2(z)) == pytest.approx((np.exp(z) - 1 - z) / z ** 2, rel=1e-4)
+
+    @given(st.complex_numbers(max_magnitude=1e-7, allow_nan=False, allow_infinity=False))
+    def test_phi_functions_near_zero_limits(self, z):
+        assert complex(_phi1(z)) == pytest.approx(1.0, abs=1e-6)
+        assert complex(_phi2(z)) == pytest.approx(0.5, abs=1e-6)
+
+
+class TestWaveformProperties:
+    @given(st.floats(min_value=0.0, max_value=1e-6),
+           st.floats(min_value=0.1, max_value=2.0),
+           st.floats(min_value=-1.0, max_value=1.0))
+    def test_sine_bounded_by_offset_plus_amplitude(self, t, amplitude, offset):
+        wave = Sine(offset=offset, amplitude=amplitude, frequency=10e6)
+        assert offset - amplitude - 1e-12 <= wave(t) <= offset + amplitude + 1e-12
+
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=2**20))
+    def test_prbs_bits_are_binary(self, n_bits, seed):
+        bits = prbs_bits(n_bits, seed=seed)
+        assert len(bits) == n_bits
+        assert set(bits) <= {0, 1}
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=2, max_value=32),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=1.1, max_value=2.0))
+    def test_bit_pattern_stays_within_levels(self, n_bits, low, high):
+        pattern = BitPattern(bits=prbs_bits(n_bits), bit_rate=1e9, low=low, high=high)
+        times = np.linspace(0, pattern.duration * 1.2, 200)
+        values = pattern.sample(times)
+        assert values.min() >= low - 1e-9
+        assert values.max() <= high + 1e-9

@@ -1,0 +1,219 @@
+"""Tests for Jacobian snapshots, state estimators and the TFT transform."""
+
+import numpy as np
+import pytest
+
+from repro.circuit import Circuit, Sine, TransientOptions, ac_analysis, frequency_grid, transient_analysis
+from repro.circuits import build_common_source_amplifier, build_rc_ladder
+from repro.exceptions import ReproError
+from repro.tft import (
+    SnapshotTrajectory,
+    StateEstimator,
+    TFTDataset,
+    default_frequency_grid,
+    extract_tft,
+)
+
+
+@pytest.fixture(scope="module")
+def rc_trajectory():
+    circuit = build_rc_ladder(2, input_waveform=Sine(0.5, 0.3, 1e6))
+    system = circuit.build()
+    trajectory = SnapshotTrajectory(system)
+    transient_analysis(system, TransientOptions(t_stop=1e-6, dt=10e-9),
+                       snapshot_callback=trajectory)
+    return system, trajectory
+
+
+@pytest.fixture(scope="module")
+def cs_tft():
+    circuit = build_common_source_amplifier(input_waveform=Sine(0.55, 0.15, 1e5))
+    system = circuit.build()
+    trajectory = SnapshotTrajectory(system)
+    transient_analysis(system, TransientOptions(t_stop=10e-6, dt=0.1e-6),
+                       snapshot_callback=trajectory)
+    tft = extract_tft(trajectory, frequency_grid(1e4, 1e11, 3), max_snapshots=60)
+    return system, tft
+
+
+class TestSnapshotTrajectory:
+    def test_records_every_step(self, rc_trajectory):
+        system, trajectory = rc_trajectory
+        assert len(trajectory) > 50
+
+    def test_times_monotonic(self, rc_trajectory):
+        _, trajectory = rc_trajectory
+        assert np.all(np.diff(trajectory.times) > 0)
+
+    def test_input_excursion(self, rc_trajectory):
+        _, trajectory = rc_trajectory
+        lo, hi = trajectory.input_excursion()
+        assert lo == pytest.approx(0.2, abs=0.02)
+        assert hi == pytest.approx(0.8, abs=0.02)
+
+    def test_subsample_reduces_count(self, rc_trajectory):
+        _, trajectory = rc_trajectory
+        thinned = trajectory.subsample(20)
+        assert len(thinned) <= 20
+        assert thinned[0].time == trajectory[0].time
+
+    def test_subsample_too_small_rejected(self, rc_trajectory):
+        _, trajectory = rc_trajectory
+        with pytest.raises(ReproError):
+            trajectory.subsample(1)
+
+    def test_sorted_by_input(self, rc_trajectory):
+        _, trajectory = rc_trajectory
+        ordered = trajectory.sorted_by_input()
+        values = ordered.inputs()[:, 0]
+        assert np.all(np.diff(values) >= 0)
+
+    def test_describe_mentions_snapshot_count(self, rc_trajectory):
+        _, trajectory = rc_trajectory
+        assert str(len(trajectory)) in trajectory.describe()
+
+
+class TestStateEstimator:
+    def test_default_is_one_dimensional(self):
+        assert StateEstimator().dimension == 1
+
+    def test_embed_returns_input_itself(self):
+        est = StateEstimator()
+        t = np.linspace(0, 1e-6, 11)
+        u = np.sin(2 * np.pi * 1e6 * t)
+        x = est.embed(t, u)
+        assert x.shape == (11, 1)
+        assert np.allclose(x[:, 0], u)
+
+    def test_delays_add_dimensions(self):
+        est = StateEstimator(delays=(1e-9, 2e-9))
+        assert est.dimension == 3
+
+    def test_delayed_coordinate_is_shifted_input(self):
+        est = StateEstimator(delays=(0.1,))
+        t = np.linspace(0, 1.0, 101)
+        u = t.copy()
+        x = est.embed(t, u)
+        assert np.allclose(x[50, 1], u[40], atol=1e-9)
+
+    def test_delays_must_be_positive(self):
+        with pytest.raises(ReproError):
+            StateEstimator(delays=(-1e-9,))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ReproError):
+            StateEstimator().embed(np.zeros(5), np.zeros(6))
+
+    def test_delay_line_streaming_matches_batch(self):
+        est = StateEstimator(delays=(0.2,))
+        t = np.linspace(0, 2.0, 41)
+        u = np.sin(t)
+        batch = est.embed(t, u)
+        line = est.delay_line(u[0])
+        streamed = np.array([line.push(ti, ui) for ti, ui in zip(t, u)])
+        assert np.allclose(streamed[:, 0], batch[:, 0])
+        assert np.allclose(streamed[10:, 1], batch[10:, 1], atol=0.05)
+
+
+class TestExtractTFT:
+    def test_shapes(self, cs_tft):
+        _, tft = cs_tft
+        assert tft.response.shape == (tft.n_states, tft.n_frequencies, 1, 1)
+        assert tft.dc_response.shape == (tft.n_states, 1, 1)
+        assert tft.states.shape == (tft.n_states, 1)
+
+    def test_linear_circuit_has_flat_state_axis(self, rc_trajectory):
+        system, trajectory = rc_trajectory
+        tft = extract_tft(trajectory, frequency_grid(1e4, 1e9, 3), max_snapshots=40)
+        response = tft.siso_response()
+        spread = np.max(np.abs(response - response[0][None, :]))
+        assert spread < 1e-9
+
+    def test_matches_ac_analysis_at_dc_operating_point(self):
+        # For a circuit held at DC, the TFT of the first snapshot must equal
+        # the small-signal AC response about that operating point.
+        circuit = build_common_source_amplifier(input_waveform=0.55)
+        system = circuit.build()
+        trajectory = SnapshotTrajectory(system)
+        transient_analysis(system, TransientOptions(t_stop=1e-9, dt=1e-10),
+                           snapshot_callback=trajectory)
+        freqs = frequency_grid(1e5, 1e10, 3)
+        tft = extract_tft(trajectory, freqs)
+        ac = ac_analysis(system, freqs)
+        assert np.allclose(tft.siso_response()[0], ac.transfer(), rtol=1e-6)
+
+    def test_dc_gain_matches_low_frequency_response(self, cs_tft):
+        _, tft = cs_tft
+        low_freq = tft.siso_response()[:, 0]
+        assert np.allclose(low_freq.real, tft.siso_dc().real, rtol=1e-2, atol=1e-3)
+
+    def test_nonlinear_circuit_gain_varies_with_state(self, cs_tft):
+        _, tft = cs_tft
+        dc_gain = np.abs(tft.siso_dc())
+        assert dc_gain.max() / max(dc_gain.min(), 1e-12) > 1.5
+
+    def test_empty_trajectory_rejected(self):
+        circuit = build_rc_ladder(1)
+        system = circuit.build()
+        with pytest.raises(ReproError):
+            extract_tft(SnapshotTrajectory(system))
+
+    def test_default_frequency_grid_span(self):
+        grid = default_frequency_grid()
+        assert grid[0] == pytest.approx(1.0)
+        assert grid[-1] == pytest.approx(10e9)
+
+    def test_outputs_recorded(self, cs_tft):
+        _, tft = cs_tft
+        assert tft.outputs is not None
+        assert tft.outputs.shape[0] == tft.n_states
+
+
+class TestTFTDataset:
+    def test_gain_db_and_phase_shapes(self, cs_tft):
+        _, tft = cs_tft
+        assert tft.gain_db().shape == (tft.n_states, tft.n_frequencies)
+        assert tft.phase_deg().shape == (tft.n_states, tft.n_frequencies)
+
+    def test_dynamic_response_is_zero_at_dc(self, cs_tft):
+        _, tft = cs_tft
+        dynamic = tft.dynamic_response()
+        assert np.max(np.abs(dynamic[:, 0])) < 1e-2 * np.max(np.abs(tft.siso_dc()))
+
+    def test_sorted_by_state(self, cs_tft):
+        _, tft = cs_tft
+        ordered = tft.sorted_by_state()
+        assert np.all(np.diff(ordered.state_axis()) >= 0)
+
+    def test_subsample_states(self, cs_tft):
+        _, tft = cs_tft
+        small = tft.subsample_states(10)
+        assert small.n_states <= 10
+        assert small.n_frequencies == tft.n_frequencies
+
+    def test_restrict_frequencies(self, cs_tft):
+        _, tft = cs_tft
+        band = tft.restrict_frequencies(1e6, 1e9)
+        assert band.frequencies.min() >= 1e6
+        assert band.frequencies.max() <= 1e9
+        assert band.n_states == tft.n_states
+
+    def test_restrict_frequencies_empty_band_rejected(self, cs_tft):
+        _, tft = cs_tft
+        with pytest.raises(ReproError):
+            tft.restrict_frequencies(1e15, 1e16)
+
+    def test_save_and_load_roundtrip(self, cs_tft, tmp_path):
+        _, tft = cs_tft
+        path = tmp_path / "tft.npz"
+        tft.save(path)
+        loaded = TFTDataset.load(path)
+        assert loaded.n_states == tft.n_states
+        assert np.allclose(loaded.response, tft.response)
+        assert np.allclose(loaded.states, tft.states)
+        assert loaded.input_names == tft.input_names
+
+    def test_describe_contains_shape(self, cs_tft):
+        _, tft = cs_tft
+        text = tft.describe()
+        assert str(tft.n_states) in text

@@ -1,0 +1,100 @@
+"""Tests for engineering-unit parsing and formatting."""
+
+import math
+
+import pytest
+
+from repro.exceptions import NetlistParseError
+from repro.units import format_si, parse_value
+
+
+class TestParseValue:
+    def test_plain_integer(self):
+        assert parse_value("42") == 42.0
+
+    def test_plain_float(self):
+        assert parse_value("3.14") == pytest.approx(3.14)
+
+    def test_scientific_notation(self):
+        assert parse_value("1e-9") == pytest.approx(1e-9)
+
+    def test_negative_value(self):
+        assert parse_value("-2.5") == pytest.approx(-2.5)
+
+    def test_kilo_suffix(self):
+        assert parse_value("10k") == pytest.approx(10e3)
+
+    def test_meg_suffix(self):
+        assert parse_value("1meg") == pytest.approx(1e6)
+
+    def test_meg_differs_from_milli(self):
+        assert parse_value("1m") == pytest.approx(1e-3)
+        assert parse_value("1MEG") == pytest.approx(1e6)
+
+    def test_micro_suffix(self):
+        assert parse_value("2.5u") == pytest.approx(2.5e-6)
+
+    def test_nano_suffix(self):
+        assert parse_value("100n") == pytest.approx(100e-9)
+
+    def test_pico_suffix(self):
+        assert parse_value("3p") == pytest.approx(3e-12)
+
+    def test_femto_suffix(self):
+        assert parse_value("5f") == pytest.approx(5e-15)
+
+    def test_giga_suffix(self):
+        assert parse_value("2.5g") == pytest.approx(2.5e9)
+
+    def test_tera_suffix(self):
+        assert parse_value("1t") == pytest.approx(1e12)
+
+    def test_suffix_with_unit_text(self):
+        assert parse_value("100pF") == pytest.approx(100e-12)
+
+    def test_bare_unit_has_no_scale(self):
+        assert parse_value("5V") == pytest.approx(5.0)
+
+    def test_case_insensitive(self):
+        assert parse_value("10K") == pytest.approx(10e3)
+
+    def test_numeric_passthrough(self):
+        assert parse_value(7) == 7.0
+        assert parse_value(2.5) == 2.5
+
+    def test_invalid_token_raises(self):
+        with pytest.raises(NetlistParseError):
+            parse_value("abc")
+
+    def test_empty_string_raises(self):
+        with pytest.raises(NetlistParseError):
+            parse_value("")
+
+
+class TestFormatSi:
+    def test_zero(self):
+        assert format_si(0.0, "V") == "0 V"
+
+    def test_kilo(self):
+        assert format_si(4700.0, "Ohm") == "4.7 kOhm"
+
+    def test_nano(self):
+        assert format_si(2.2e-9, "s") == "2.2 ns"
+
+    def test_unity_range(self):
+        assert format_si(3.3, "V") == "3.3 V"
+
+    def test_negative(self):
+        assert "-1.5" in format_si(-1.5e-3, "A")
+
+    def test_no_unit(self):
+        assert format_si(1e6) == "1 M"
+
+    def test_nan_and_inf(self):
+        assert "nan" in format_si(float("nan")).lower()
+        assert "inf" in format_si(math.inf).lower()
+
+    def test_roundtrip_with_parse(self):
+        text = format_si(4.7e-12, "F")
+        number = text.split()[0] + text.split()[1][0]
+        assert parse_value(number) == pytest.approx(4.7e-12, rel=1e-6)

@@ -1,0 +1,275 @@
+"""Tests for the vector fitting engine, pole utilities and rational functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FittingError, ModelError
+from repro.vectfit import (
+    RationalFunction,
+    VectorFitOptions,
+    basis_matrix,
+    coefficients_to_residues,
+    evaluate_model,
+    fit_auto_order,
+    flip_unstable,
+    initial_complex_poles,
+    initial_real_poles,
+    initial_state_poles,
+    residues_to_coefficients,
+    sort_poles,
+    split_real_complex,
+    vector_fit,
+)
+from repro.vectfit.poles import enforce_conjugate_closure
+
+
+def synthetic_response(svals, poles, residues, constant=0.0):
+    svals = np.asarray(svals, dtype=complex)
+    values = np.full(svals.shape, complex(constant), dtype=complex)
+    for p, r in zip(poles, residues):
+        values = values + r / (svals - p)
+    return values
+
+
+class TestPoleUtilities:
+    def test_initial_complex_poles_are_conjugate_pairs(self):
+        poles = initial_complex_poles(1e3, 1e9, 8)
+        assert len(poles) == 8
+        real_idx, pair_idx = split_real_complex(sort_poles(poles))
+        assert len(pair_idx) == 4 and len(real_idx) == 0
+
+    def test_initial_complex_poles_odd_order_adds_real_pole(self):
+        poles = initial_complex_poles(1e3, 1e9, 5)
+        assert np.sum(poles.imag == 0) == 1
+
+    def test_initial_complex_poles_are_stable(self):
+        assert np.all(initial_complex_poles(1e3, 1e9, 10).real < 0)
+
+    def test_initial_complex_poles_invalid_range(self):
+        with pytest.raises(FittingError):
+            initial_complex_poles(1e9, 1e3, 4)
+
+    def test_initial_real_poles_negative(self):
+        assert np.all(initial_real_poles(0.4, 1.4, 5).real < 0)
+
+    def test_initial_state_poles_straddle_interval(self):
+        poles = initial_state_poles(0.4, 1.4, 6)
+        assert len(poles) == 6
+        assert poles.real.min() >= 0.4 - 1e-12
+        assert poles.real.max() <= 1.4 + 1e-12
+        assert np.all(poles.imag != 0)
+
+    def test_flip_unstable_mirrors_real_part(self):
+        poles = np.array([1e3 + 2e3j, -5.0 + 0j])
+        flipped = flip_unstable(poles)
+        assert np.all(flipped.real < 0)
+        assert flipped[0].imag == pytest.approx(2e3)
+
+    def test_sort_poles_orders_pairs_adjacent(self):
+        poles = np.array([-1 + 5j, -3.0, -1 - 5j])
+        ordered = sort_poles(poles)
+        assert ordered[0] == -3.0
+        assert ordered[1] == np.conj(ordered[2])
+
+    def test_enforce_conjugate_closure_repairs_asymmetry(self):
+        poles = np.array([-1 + 5j, -1.0000001 - 4.9999999j, -2.0])
+        closed = enforce_conjugate_closure(poles)
+        complex_poles = closed[closed.imag != 0]
+        assert len(complex_poles) == 2
+        assert complex_poles[0] == np.conj(complex_poles[1])
+
+    def test_enforce_conjugate_closure_collapses_orphans(self):
+        poles = np.array([-1 + 5j, -2.0])
+        closed = enforce_conjugate_closure(poles)
+        assert np.all(closed.imag == 0)
+
+
+class TestBasis:
+    def test_complex_mode_columns(self):
+        svals = 1j * np.linspace(1, 10, 5)
+        poles = np.array([-1 + 2j, -3 + 0j])
+        phi = basis_matrix(svals, poles, real_mode=False)
+        assert phi.shape == (5, 2)
+        assert phi[0, 0] == pytest.approx(1 / (svals[0] - poles[0]))
+
+    def test_real_mode_pair_columns_give_conjugate_residues(self):
+        poles = sort_poles(np.array([-1 + 2j, -1 - 2j, -3 + 0j]))
+        coeffs = np.array([0.5, 1.5, -2.0])  # [real pole, pair cr, pair ci]
+        residues = coefficients_to_residues(coeffs, poles, real_mode=True)
+        real_idx, pair_idx = split_real_complex(poles)
+        i = pair_idx[0]
+        assert residues[i] == pytest.approx(np.conj(residues[i + 1]))
+
+    def test_coefficients_roundtrip(self):
+        poles = sort_poles(np.array([-2.0, -1 + 3j, -1 - 3j]))
+        coeffs = np.array([1.0, 0.3, -0.8])
+        residues = coefficients_to_residues(coeffs, poles, True)
+        back = residues_to_coefficients(residues, poles, True)
+        assert back == pytest.approx(coeffs)
+
+    def test_real_mode_model_is_conjugate_symmetric(self):
+        poles = sort_poles(np.array([-1 + 3j, -1 - 3j]))
+        coeffs = np.array([0.7, 0.2])
+        residues = coefficients_to_residues(coeffs, poles, True)
+        s = np.array([2j, -2j])
+        values = evaluate_model(s, poles, residues[None, :])[0]
+        assert values[0] == pytest.approx(np.conj(values[1]))
+
+
+class TestVectorFitRealMode:
+    FREQS = np.logspace(5, 10, 60)
+    SVALS = 2j * np.pi * FREQS
+    TRUE_POLES = np.array([-2e7, -1e9 + 4e9j, -1e9 - 4e9j])
+
+    def _data(self, residues, constant=0.0):
+        return synthetic_response(self.SVALS, self.TRUE_POLES, residues, constant)
+
+    def test_recovers_exact_rational_function(self):
+        data = self._data([1e7, 1e9 + 5e8j, 1e9 - 5e8j], constant=0.2)
+        result = vector_fit(self.SVALS, data, initial_complex_poles(1e5, 1e10, 3))
+        assert result.relative_error < 1e-6
+
+    def test_recovers_pole_locations(self):
+        data = self._data([1e7, 1e9 + 5e8j, 1e9 - 5e8j])
+        result = vector_fit(self.SVALS, data, initial_complex_poles(1e5, 1e10, 3))
+        found = np.sort_complex(result.poles)
+        expected = np.sort_complex(self.TRUE_POLES)
+        assert np.allclose(found, expected, rtol=1e-4)
+
+    def test_common_poles_across_responses(self):
+        rng = np.random.default_rng(1)
+        rows = []
+        for _ in range(5):
+            r_real = rng.normal() * 1e8
+            r_pair = rng.normal() * 1e9 + 1j * rng.normal() * 1e9
+            rows.append(self._data([r_real, r_pair, np.conj(r_pair)]))
+        data = np.array(rows)
+        result = vector_fit(self.SVALS, data, initial_complex_poles(1e5, 1e10, 3))
+        assert result.n_responses == 5
+        assert result.relative_error < 1e-6
+
+    def test_stability_enforced(self):
+        data = self._data([1e7, 1e9, 1e9])
+        result = vector_fit(self.SVALS, data, initial_complex_poles(1e5, 1e10, 4))
+        assert result.is_stable()
+
+    def test_constant_term_recovered(self):
+        data = self._data([1e7, 2e9 + 1e9j, 2e9 - 1e9j], constant=1.7)
+        result = vector_fit(self.SVALS, data, initial_complex_poles(1e5, 1e10, 3),
+                            VectorFitOptions(fit_constant=True))
+        assert result.constants[0].real == pytest.approx(1.7, rel=1e-3)
+
+    def test_inverse_weighting_improves_small_magnitude_fit(self):
+        data = self._data([1e7, 1e9, 1e9])
+        options = VectorFitOptions(weighting="inverse")
+        result = vector_fit(self.SVALS, data, initial_complex_poles(1e5, 1e10, 3), options)
+        assert result.relative_error < 1e-6
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(FittingError):
+            vector_fit(self.SVALS, np.zeros((2, 10)), initial_complex_poles(1e5, 1e10, 2))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(FittingError):
+            vector_fit(self.SVALS[:3], np.zeros(3), initial_complex_poles(1e5, 1e10, 8))
+
+    def test_unknown_weighting_rejected(self):
+        with pytest.raises(FittingError):
+            VectorFitOptions(weighting="magic").validate()
+
+    def test_evaluate_matches_fit_data(self):
+        data = self._data([1e7, 1e9 + 5e8j, 1e9 - 5e8j])
+        result = vector_fit(self.SVALS, data, initial_complex_poles(1e5, 1e10, 3))
+        model = result.evaluate(self.SVALS)[0]
+        assert np.max(np.abs(model - data)) / np.max(np.abs(data)) < 1e-6
+
+
+class TestVectorFitComplexMode:
+    def test_fits_complex_function_of_real_variable(self):
+        x = np.linspace(0.4, 1.4, 80)
+        svals = 1j * x
+        true_poles = np.array([-0.5 + 0.9j, -0.3 - 0.2j])
+        true_res = np.array([0.8 - 0.3j, 0.2 + 0.5j])
+        data = synthetic_response(svals, true_poles, true_res, 0.05)
+        options = VectorFitOptions(real_coefficients=False, enforce_stability=False,
+                                   n_iterations=25)
+        result = vector_fit(svals, data, initial_real_poles(0.4, 1.4, 2), options)
+        assert result.relative_error < 1e-8
+
+    def test_no_conjugate_requirement_in_complex_mode(self):
+        x = np.linspace(-1, 1, 50)
+        svals = 1j * x
+        data = 1.0 / (svals - (-0.4 + 0.3j))
+        options = VectorFitOptions(real_coefficients=False, enforce_stability=False)
+        result = vector_fit(svals, data, np.array([-1.0 + 0j]), options)
+        assert result.relative_error < 1e-6
+
+
+class TestAutoOrder:
+    def test_stops_at_error_bound(self):
+        freqs = np.logspace(6, 10, 50)
+        svals = 2j * np.pi * freqs
+        poles = np.array([-1e8, -2e9 + 6e9j, -2e9 - 6e9j])
+        data = synthetic_response(svals, poles, [1e8, 1e9 + 1e9j, 1e9 - 1e9j])
+        report = fit_auto_order(svals, data, 1e-6, max_order=10)
+        assert report.converged
+        assert report.order <= 6
+
+    def test_reports_order_history(self):
+        freqs = np.logspace(6, 10, 50)
+        svals = 2j * np.pi * freqs
+        data = synthetic_response(svals, [-1e9], [1e9])
+        report = fit_auto_order(svals, data, 1e-9, max_order=8)
+        assert report.orders_tried[0] == 2
+        assert len(report.errors) == len(report.orders_tried)
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(FittingError):
+            fit_auto_order(2j * np.pi * np.logspace(6, 9, 20), np.ones(20), -1.0)
+
+
+class TestRationalFunction:
+    def test_evaluation_scalar_and_vector(self):
+        rf = RationalFunction([-1.0], [2.0], constant=0.5)
+        # H(0) = 0.5 + 2/(0 - (-1)) = 2.5
+        assert rf(0.0) == pytest.approx(2.5)
+        assert rf(np.array([0.0, 1j])).shape == (2,)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ModelError):
+            RationalFunction([-1.0, -2.0], [1.0])
+
+    def test_stability_check(self):
+        assert RationalFunction([-1.0 + 2j, -1.0 - 2j], [1j, -1j]).is_stable()
+        assert not RationalFunction([1.0], [1.0]).is_stable()
+
+    def test_realness_check(self):
+        real_rf = RationalFunction([-1 + 2j, -1 - 2j], [0.5 + 1j, 0.5 - 1j], 0.1)
+        assert real_rf.is_real()
+        complex_rf = RationalFunction([-1 + 2j], [1.0])
+        assert not complex_rf.is_real()
+
+    def test_state_space_matches_transfer_function(self):
+        rf = RationalFunction([-1e8, -2e9 + 5e9j, -2e9 - 5e9j],
+                              [3e8, 1e9 + 2e9j, 1e9 - 2e9j], constant=0.4)
+        a, b, c, e = rf.to_state_space()
+        s = 2j * np.pi * 3.3e8
+        h_ss = c @ np.linalg.solve(s * np.eye(a.shape[0]) - a, b) + e
+        assert h_ss == pytest.approx(rf(s), rel=1e-9)
+
+    def test_input_shifted_realisation_equivalent(self):
+        rf = RationalFunction([-1e8, -2e9 + 5e9j, -2e9 - 5e9j],
+                              [3e8, 1e9 + 2e9j, 1e9 - 2e9j])
+        a, r, d, e = rf.to_input_shifted_state_space()
+        s = 2j * np.pi * 1.1e9
+        h = d @ np.linalg.solve(s * np.eye(a.shape[0]) - a, r) + e
+        assert h == pytest.approx(rf(s), rel=1e-9)
+
+    def test_proportional_term_rejected_in_state_space(self):
+        rf = RationalFunction([-1.0], [1.0], proportional=2.0)
+        with pytest.raises(ModelError):
+            rf.to_state_space()
+
+    def test_without_constant(self):
+        rf = RationalFunction([-1.0], [1.0], constant=3.0)
+        assert rf.without_constant().constant == 0.0
