@@ -14,6 +14,8 @@ The package is organised bottom-up:
 * :mod:`repro.baselines` — the CAFFEINE-style regression baseline,
 * :mod:`repro.circuits` — ready-made example circuits including the
   high-speed output buffer used in the paper's evaluation,
+* :mod:`repro.sweep` — batched scenario sweeps (many stimuli / parameter
+  corners in one call) feeding trajectory families into the TFT extraction,
 * :mod:`repro.analysis` — error metrics, timing and report helpers.
 """
 
@@ -38,6 +40,7 @@ from .rvf import (
     extract_rvf_model,
     simulate_hammerstein,
 )
+from .sweep import Scenario, SweepOptions, run_sweep, waveform_sweep
 from .tft import SnapshotTrajectory, StateEstimator, TFTDataset, extract_tft
 
 __all__ = [
@@ -49,6 +52,8 @@ __all__ = [
     "build_output_buffer", "buffer_training_waveform", "buffer_test_pattern",
     # TFT
     "SnapshotTrajectory", "StateEstimator", "TFTDataset", "extract_tft",
+    # scenario sweeps
+    "Scenario", "SweepOptions", "run_sweep", "waveform_sweep",
     # RVF core
     "extract_rvf_model", "RVFOptions", "HammersteinModel", "simulate_hammerstein",
     # baseline + analysis

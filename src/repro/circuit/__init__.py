@@ -8,7 +8,9 @@ step.
 """
 
 from .ac import ACResult, ac_analysis, frequency_grid
+from .assembly import SPARSE_THRESHOLD, CompiledMNA, LegacyEngine, select_engine
 from .dc import DCOptions, DCResult, dc_operating_point
+from .linalg import FactorizationCache, solve_linear
 from .devices import (
     MOSFET,
     NMOS,
@@ -48,4 +50,7 @@ __all__ = [
     "ac_analysis", "ACResult", "frequency_grid",
     "transient_analysis", "TransientOptions", "TransientResult",
     "newton_solve", "NewtonOptions", "NewtonResult",
+    # compiled assembly + linear algebra
+    "CompiledMNA", "LegacyEngine", "select_engine", "SPARSE_THRESHOLD",
+    "FactorizationCache", "solve_linear",
 ]

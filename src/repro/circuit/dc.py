@@ -7,6 +7,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..exceptions import ConvergenceError, SingularMatrixError
+from .assembly import select_engine
+from .linalg import FactorizationCache
 from .mna import MNASystem
 from .newton import NewtonOptions, NewtonResult, newton_solve
 
@@ -23,6 +25,11 @@ class DCOptions:
     gmin_steps: tuple[float, ...] = (1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8, 1e-10, 1e-12)
     #: Number of source-stepping ramp points tried as the last resort.
     source_steps: int = 20
+    #: Matrix assembly backend: "auto" (compiled, sparse above the size
+    #: threshold), "dense", "sparse" or "legacy" (original dense stamping).
+    assembly: str = "auto"
+    #: LU factors are re-used while the Jacobian drifts less than this.
+    jacobian_reuse_tol: float = 0.0
 
 
 @dataclass
@@ -41,21 +48,23 @@ class DCResult:
         return 0.0 if index < 0 else float(self.solution[index])
 
 
-def _solve_fixed(system: MNASystem, excitation: np.ndarray, gmin: float,
-                 guess: np.ndarray, newton_options: NewtonOptions) -> NewtonResult:
+def _solve_fixed(system: MNASystem, engine, excitation: np.ndarray, gmin: float,
+                 guess: np.ndarray, newton_options: NewtonOptions,
+                 linear_solver: FactorizationCache | None = None) -> NewtonResult:
     """Newton solve of ``i(v) + gmin*v_nodes - excitation = 0``."""
     n_nodes = system.n_nodes
 
     def residual_and_jacobian(v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        i_vec, g_mat = system.eval_static(v)
+        i_vec, g_op = engine.eval_static(v)
         residual = i_vec - excitation
         if gmin:
             residual[:n_nodes] += gmin * v[:n_nodes]
-            g_mat = g_mat.copy()
-            g_mat[np.arange(n_nodes), np.arange(n_nodes)] += gmin
-        return residual, g_mat
+            g_op = g_op.copy()
+            engine.add_diag(g_op, gmin, n_nodes)
+        return residual, engine.materialize(g_op)
 
-    return newton_solve(residual_and_jacobian, guess, newton_options)
+    return newton_solve(residual_and_jacobian, guess, newton_options,
+                        linear_solver=linear_solver)
 
 
 def dc_operating_point(system: MNASystem, t: float = 0.0,
@@ -70,6 +79,10 @@ def dc_operating_point(system: MNASystem, t: float = 0.0,
     so tests and reports can assert on it.
     """
     opts = options or DCOptions()
+    engine = select_engine(system, opts.assembly)
+    cache = (FactorizationCache(reuse_tolerance=opts.jacobian_reuse_tol,
+                                singular_threshold=opts.newton.singular_threshold)
+             if opts.assembly != "legacy" else None)
     excitation = system.excitation(t)
     guess = (np.array(initial_guess, dtype=float, copy=True)
              if initial_guess is not None else system.zero_state())
@@ -78,7 +91,8 @@ def dc_operating_point(system: MNASystem, t: float = 0.0,
 
     # Strategy 1: plain Newton from the supplied guess.
     try:
-        result = _solve_fixed(system, excitation, opts.gmin, guess, opts.newton)
+        result = _solve_fixed(system, engine, excitation, opts.gmin, guess,
+                              opts.newton, cache)
         total_iterations += result.iterations
         if result.converged:
             return _package(system, result, total_iterations, "newton")
@@ -90,7 +104,8 @@ def dc_operating_point(system: MNASystem, t: float = 0.0,
     converged_chain = True
     for gmin in opts.gmin_steps:
         try:
-            result = _solve_fixed(system, excitation, gmin, stepping_guess, opts.newton)
+            result = _solve_fixed(system, engine, excitation, gmin, stepping_guess,
+                                  opts.newton, cache)
         except SingularMatrixError:
             converged_chain = False
             break
@@ -101,7 +116,8 @@ def dc_operating_point(system: MNASystem, t: float = 0.0,
         stepping_guess = result.solution
     if converged_chain:
         final_gmin = min(opts.gmin, opts.gmin_steps[-1])
-        result = _solve_fixed(system, excitation, final_gmin, stepping_guess, opts.newton)
+        result = _solve_fixed(system, engine, excitation, final_gmin, stepping_guess,
+                              opts.newton, cache)
         total_iterations += result.iterations
         if result.converged:
             return _package(system, result, total_iterations, "gmin-stepping")
@@ -112,8 +128,8 @@ def dc_operating_point(system: MNASystem, t: float = 0.0,
     for k in range(1, opts.source_steps + 1):
         alpha = k / opts.source_steps
         try:
-            result = _solve_fixed(system, alpha * excitation, opts.gmin,
-                                  stepping_guess, opts.newton)
+            result = _solve_fixed(system, engine, alpha * excitation, opts.gmin,
+                                  stepping_guess, opts.newton, cache)
         except SingularMatrixError as exc:
             raise ConvergenceError(
                 f"DC analysis of {system.circuit.name!r} failed: singular matrix during "

@@ -113,6 +113,25 @@ class Device:
         """Whether the device has state-dependent Jacobians (default: linear)."""
         return False
 
+    def is_nonlinear_static(self) -> bool:
+        """Whether the *static* stamps depend on the solution.
+
+        Devices returning ``False`` promise affine static stamps — a constant
+        conductance Jacobian and currents of the form ``i(0) + G v`` — which
+        lets the compiled assembly (:mod:`repro.circuit.assembly`) stamp them
+        once instead of on every Newton iteration.
+        """
+        return self.is_nonlinear()
+
+    def is_nonlinear_dynamic(self) -> bool:
+        """Whether the *dynamic* stamps depend on the solution.
+
+        Analogous to :meth:`is_nonlinear_static` for the charge stamps; e.g.
+        the square-law MOSFET is statically nonlinear but uses constant gate
+        capacitances, so its dynamic stamps compile to a constant matrix.
+        """
+        return self.is_nonlinear()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         nodes = ",".join(self.nodes)
         return f"<{type(self).__name__} {self.name} ({nodes})>"

@@ -38,6 +38,9 @@ class PolynomialConductance(TwoTerminal):
     def is_nonlinear(self) -> bool:
         return len(self.coefficients) > 2
 
+    def is_nonlinear_dynamic(self) -> bool:
+        return False  # no dynamic stamps
+
     def current(self, voltage: float) -> float:
         return float(sum(c * voltage ** k for k, c in enumerate(self.coefficients)))
 
@@ -70,6 +73,9 @@ class CubicConductance(TwoTerminal):
     def is_nonlinear(self) -> bool:
         return self.g3 > 0.0
 
+    def is_nonlinear_dynamic(self) -> bool:
+        return False  # no dynamic stamps
+
     def stamp_static(self, v: np.ndarray, i_out: np.ndarray, g_out: np.ndarray) -> None:
         vd = self.branch_voltage(v)
         current = self.g1 * vd - self.g3 * vd ** 3
@@ -99,6 +105,9 @@ class TanhTransconductor(Device):
 
     def is_nonlinear(self) -> bool:
         return True
+
+    def is_nonlinear_dynamic(self) -> bool:
+        return False  # no dynamic stamps
 
     def current_and_gm(self, v_ctrl: float) -> tuple[float, float]:
         x = self.transconductance * v_ctrl / self.max_current

@@ -55,6 +55,11 @@ class Diode(TwoTerminal):
     def is_nonlinear(self) -> bool:
         return True
 
+    def is_nonlinear_dynamic(self) -> bool:
+        # Charge storage is nonlinear only when the diode actually stores
+        # charge; without it the dynamic stamps are empty (trivially linear).
+        return self.junction_capacitance > 0.0 or self.transit_time > 0.0
+
     # ------------------------------------------------------------------ models
     def current_and_conductance(self, vd: float) -> tuple[float, float]:
         """Diode current and incremental conductance at junction voltage ``vd``."""

@@ -109,6 +109,11 @@ class MOSFET(Device):
     def is_nonlinear(self) -> bool:
         return True
 
+    def is_nonlinear_dynamic(self) -> bool:
+        # The simplified Meyer charge model uses constant capacitances, so the
+        # dynamic stamps are linear even though the drain current is not.
+        return False
+
     # ------------------------------------------------------------------ model
     def drain_current(self, vgs: float, vds: float) -> tuple[float, float, float]:
         """Drain current and small-signal parameters ``(id, gm, gds)``.

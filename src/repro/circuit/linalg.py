@@ -1,0 +1,180 @@
+"""Linear-solver backends with LU-factor caching for the MNA analyses.
+
+The Newton iterations of the DC and transient analyses solve a long sequence
+of linear systems whose matrices differ only slightly from one another (and,
+for linear circuits with a fixed time step, not at all).  The
+:class:`FactorizationCache` exploits that: it keeps the LU factors of the last
+factorised matrix and re-uses them — a *modified Newton* bypass — as long as
+the matrix entries have drifted less than a relative tolerance since the
+factorisation.  Convergence is unaffected because the Newton residual is
+always evaluated exactly; a stale factor only changes the search direction.
+
+Both dense matrices (``scipy.linalg.lu_factor``) and sparse CSC matrices
+(``scipy.sparse.linalg.splu``) are supported; since the compiled assembly
+(:mod:`repro.circuit.assembly`) emits every Jacobian on one shared sparsity
+pattern, the drift check reduces to a vector comparison of the CSC data
+arrays.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import scipy.linalg as _sla
+import scipy.sparse as _sp
+import scipy.sparse.linalg as _spla
+
+from ..exceptions import SingularMatrixError
+
+__all__ = ["FactorizationCache", "batched_transfer", "solve_linear"]
+
+
+class FactorizationCache:
+    """Caches LU factors and re-uses them while the matrix barely changes.
+
+    Parameters
+    ----------
+    reuse_tolerance:
+        Maximum relative drift ``max|A - A_factored| / max|A_factored|`` for
+        which the cached factors are still used.  ``0.0`` re-uses factors only
+        for bit-identical matrices (which still pays off handsomely for linear
+        circuits, whose Jacobian is constant across a whole transient).
+    singular_threshold:
+        A dense factorisation whose smallest pivot magnitude falls at or below
+        this value raises :class:`SingularMatrixError`.
+
+    Attributes
+    ----------
+    factorizations / reuses / solves:
+        Counters for benchmarking and tests.
+    reused_last:
+        Whether the most recent :meth:`solve` used stale (cached) factors.
+    """
+
+    def __init__(self, reuse_tolerance: float = 0.0,
+                 singular_threshold: float = 0.0) -> None:
+        if reuse_tolerance < 0.0:
+            raise ValueError("reuse_tolerance must be non-negative")
+        self.reuse_tolerance = float(reuse_tolerance)
+        self.singular_threshold = float(singular_threshold)
+        self.factorizations = 0
+        self.reuses = 0
+        self.solves = 0
+        self.reused_last = False
+        self._force_refactor = False
+        self._sparse: bool | None = None
+        self._data: np.ndarray | None = None
+        self._lu = None          # splu object (sparse) or (lu, piv) (dense)
+
+    # ----------------------------------------------------------------- control
+    def invalidate(self) -> None:
+        """Force a refactorisation on the next :meth:`solve`."""
+        self._force_refactor = True
+
+    def clear(self) -> None:
+        """Drop the cached factors entirely."""
+        self._data = None
+        self._lu = None
+        self._sparse = None
+        self._force_refactor = False
+
+    # ------------------------------------------------------------------ solve
+    def solve(self, matrix, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``matrix @ x = rhs``, re-using cached factors when possible."""
+        self.solves += 1
+        sparse = _sp.issparse(matrix)
+        data = matrix.data if sparse else np.asarray(matrix)
+
+        if self._can_reuse(sparse, data):
+            self.reuses += 1
+            self.reused_last = True
+            return self._apply(rhs)
+
+        self._factorize(matrix, sparse, data)
+        self.reused_last = False
+        return self._apply(rhs)
+
+    # --------------------------------------------------------------- internals
+    def _can_reuse(self, sparse: bool, data: np.ndarray) -> bool:
+        if self._lu is None or self._force_refactor or sparse != self._sparse:
+            self._force_refactor = False
+            return False
+        cached = self._data
+        if cached is None or cached.shape != data.shape:
+            return False
+        drift = float(np.max(np.abs(data - cached))) if data.size else 0.0
+        scale = float(np.max(np.abs(cached))) if cached.size else 0.0
+        return drift <= self.reuse_tolerance * scale
+
+    def _factorize(self, matrix, sparse: bool, data: np.ndarray) -> None:
+        self.factorizations += 1
+        self._sparse = sparse
+        self._data = np.array(data, copy=True)
+        if sparse:
+            try:
+                self._lu = _spla.splu(_sp.csc_matrix(matrix))
+            except RuntimeError as exc:  # "Factor is exactly singular"
+                self._lu = None
+                raise SingularMatrixError(f"sparse LU factorisation failed: {exc}") from exc
+        else:
+            with warnings.catch_warnings():
+                # Singular probes are routine during gmin/source stepping; the
+                # pivot check below raises a typed error, so the LinAlgWarning
+                # scipy emits alongside it is pure noise.
+                warnings.simplefilter("ignore", _sla.LinAlgWarning)
+                lu, piv = _sla.lu_factor(matrix, check_finite=False)
+            pivots = np.abs(np.diag(lu))
+            if pivots.size and np.nanmin(pivots) <= self.singular_threshold:
+                self._lu = None
+                raise SingularMatrixError(
+                    "dense LU factorisation produced a zero pivot (singular matrix)")
+            self._lu = (lu, piv)
+
+    def _apply(self, rhs: np.ndarray) -> np.ndarray:
+        if self._sparse:
+            return self._lu.solve(rhs)
+        lu, piv = self._lu
+        return _sla.lu_solve((lu, piv), rhs, check_finite=False)
+
+
+def batched_transfer(g_mat: np.ndarray, c_mat: np.ndarray, s_values: np.ndarray,
+                     input_matrix: np.ndarray, output_matrix: np.ndarray,
+                     max_chunk_bytes: int = 64 << 20) -> np.ndarray:
+    """``D^T (G + s C)^{-1} B`` for every ``s``, via batched LAPACK solves.
+
+    The frequency axis is chunked so the transient ``(chunk, n, n)`` complex
+    stack stays below ``max_chunk_bytes`` — large densified systems would
+    otherwise multiply their peak memory by the full frequency count.
+    Returns shape ``(len(s_values), n_outputs, n_inputs)``.  Raises
+    ``numpy.linalg.LinAlgError`` if any system in the batch is singular.
+    """
+    n = g_mat.shape[0]
+    rhs_full = input_matrix.astype(complex)
+    chunk = max(1, int(max_chunk_bytes // max(16 * n * n, 1)))
+    result = np.empty((s_values.size, output_matrix.shape[1], input_matrix.shape[1]),
+                      dtype=complex)
+    for start in range(0, s_values.size, chunk):
+        s_chunk = s_values[start:start + chunk]
+        systems = g_mat[None, :, :] + s_chunk[:, None, None] * c_mat[None, :, :]
+        rhs = np.broadcast_to(rhs_full, (s_chunk.size,) + rhs_full.shape)
+        solved = np.linalg.solve(systems, rhs)
+        result[start:start + chunk] = np.einsum("no,fni->foi", output_matrix, solved)
+    return result
+
+
+def solve_linear(matrix, rhs: np.ndarray) -> np.ndarray:
+    """One-shot linear solve for dense or sparse matrices.
+
+    Raises :class:`SingularMatrixError` on singular input, mirroring the
+    behaviour of the Newton iteration's legacy ``np.linalg.solve`` path.
+    """
+    if _sp.issparse(matrix):
+        try:
+            return _spla.splu(_sp.csc_matrix(matrix)).solve(rhs)
+        except RuntimeError as exc:
+            raise SingularMatrixError(f"sparse LU factorisation failed: {exc}") from exc
+    try:
+        return np.linalg.solve(matrix, rhs)
+    except np.linalg.LinAlgError as exc:
+        raise SingularMatrixError("singular dense system matrix") from exc

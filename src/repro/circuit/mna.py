@@ -73,6 +73,8 @@ class MNASystem:
         self.output_matrix = self._build_output_matrix()
         self.output_names = [o.name for o in circuit.outputs]
         self.input_names = [d.name for d in self._input_sources]
+        #: Lazily compiled evaluation engines, keyed by resolved storage mode.
+        self._compiled: dict[bool, object] = {}
 
     # ----------------------------------------------------------------- helpers
     @property
@@ -146,6 +148,43 @@ class MNASystem:
         """Outputs ``y = D^T v`` for a solution vector ``v``."""
         return self.output_matrix.T @ v
 
+    # ------------------------------------------------------------- compilation
+    def compile(self, assembly: str = "auto"):
+        """Compiled pattern-cached evaluator of this system (cached per mode).
+
+        ``assembly`` is ``"auto"`` (sparse CSC storage above
+        :data:`repro.circuit.assembly.SPARSE_THRESHOLD` unknowns, dense
+        below), ``"dense"`` or ``"sparse"``.  See
+        :class:`repro.circuit.assembly.CompiledMNA`.
+
+        The compiled engine freezes the device *values* it probed (linear
+        stamps, MOSFET parameters).  Mutating device attributes after an
+        analysis has run therefore requires :meth:`invalidate_compiled` (or a
+        fresh :meth:`Circuit.build <repro.circuit.netlist.Circuit.build>`);
+        the legacy path re-stamps every evaluation and never caches.
+        """
+        from .assembly import SPARSE_THRESHOLD, CompiledMNA
+        if assembly == "auto":
+            sparse = self.n_unknowns >= SPARSE_THRESHOLD
+        elif assembly in ("dense", "sparse"):
+            sparse = assembly == "sparse"
+        else:
+            raise ValueError(f"cannot compile assembly mode {assembly!r}")
+        engine = self._compiled.get(sparse)
+        if engine is None:
+            engine = CompiledMNA(self, sparse=sparse)
+            self._compiled[sparse] = engine
+        return engine
+
+    def invalidate_compiled(self) -> None:
+        """Drop cached compiled engines after mutating device parameters.
+
+        Compiled engines bake in the device values seen at compile time; call
+        this (or rebuild the circuit) before re-running analyses on a system
+        whose devices were modified in place.
+        """
+        self._compiled.clear()
+
     # ------------------------------------------------------------- diagnostics
     def describe(self) -> str:
         return (f"MNA system for {self.circuit.name!r}: {self.n_nodes} node voltages, "
@@ -153,22 +192,62 @@ class MNASystem:
                 f"{self.n_outputs} output(s)")
 
     def transfer_function(self, v: np.ndarray, frequencies: Sequence[float] | np.ndarray,
-                          gmin: float = 0.0) -> np.ndarray:
+                          gmin: float = 0.0, assembly: str = "auto") -> np.ndarray:
         """Small-signal transfer functions about the point ``v``.
 
         Returns an array of shape ``(n_freq, n_outputs, n_inputs)`` containing
         ``D^T (G + s C)^{-1} B`` evaluated at ``s = j 2 pi f`` for every
         frequency ``f``.  This is the elementary operation behind both the AC
         analysis and the TFT extraction (paper eq. (3)).
+
+        In ``"dense"``/small ``"auto"`` mode the whole frequency sweep is one
+        batched LAPACK call; in sparse mode each frequency factorises
+        ``G + s C`` once and solves all input columns together.  Pass
+        ``assembly="legacy"`` for the original per-frequency dense loop.
+
+        A singular ``G + s C`` raises :class:`~repro.exceptions.
+        SingularMatrixError` from every compiled mode (dense and sparse
+        alike); only the legacy path keeps its historical
+        ``numpy.linalg.LinAlgError``.
         """
-        _, g_mat = self.eval_static(v)
-        _, c_mat = self.eval_dynamic(v)
-        if gmin:
-            g_mat = g_mat + gmin * np.eye(self.n_unknowns)
-        frequencies = np.asarray(frequencies, dtype=float)
+        frequencies = np.asarray(frequencies, dtype=float).ravel()
+        s_values = 2j * np.pi * frequencies
         result = np.empty((frequencies.size, self.n_outputs, self.n_inputs), dtype=complex)
-        for idx, freq in enumerate(frequencies.ravel()):
-            s = 2j * np.pi * freq
-            solved = np.linalg.solve(g_mat + s * c_mat, self.input_matrix)
-            result[idx] = self.output_matrix.T @ solved
-        return result
+
+        if assembly == "legacy":
+            _, g_mat = self.eval_static(v)
+            _, c_mat = self.eval_dynamic(v)
+            if gmin:
+                g_mat = g_mat + gmin * np.eye(self.n_unknowns)
+            for idx, s in enumerate(s_values):
+                solved = np.linalg.solve(g_mat + s * c_mat, self.input_matrix)
+                result[idx] = self.output_matrix.T @ solved
+            return result
+
+        engine = self.compile(assembly)
+        _, g_op = engine.eval_static(v)
+        _, c_op = engine.eval_dynamic(v)
+        if engine.is_sparse:
+            from .linalg import solve_linear
+            g_data = g_op.astype(complex, copy=True)
+            if gmin:
+                engine.add_diag(g_data, gmin, self.n_unknowns)
+            b_cols = self.input_matrix.astype(complex)
+            for idx, s in enumerate(s_values):
+                matrix = engine.materialize(g_data + s * c_op)
+                result[idx] = self.output_matrix.T @ solve_linear(matrix, b_cols)
+            return result
+
+        from ..exceptions import SingularMatrixError
+        from .linalg import batched_transfer
+        g_mat = np.array(g_op, copy=True)
+        if gmin:
+            engine.add_diag(g_mat, gmin, self.n_unknowns)
+        try:
+            return batched_transfer(g_mat, c_op, s_values,
+                                    self.input_matrix, self.output_matrix)
+        except np.linalg.LinAlgError as exc:
+            # Same typed error as the sparse branch, so the exception a caller
+            # must catch does not flip with the circuit size in "auto" mode.
+            raise SingularMatrixError(
+                "(G + sC) is singular at one of the swept frequencies") from exc

@@ -1,4 +1,13 @@
-"""Damped Newton-Raphson solver shared by the DC and transient analyses."""
+"""Damped Newton-Raphson solver shared by the DC and transient analyses.
+
+The Jacobian handed back by the residual callback may be a dense NumPy array
+or a ``scipy.sparse`` matrix; sparse Jacobians are factorised with SuperLU.
+Passing a persistent :class:`repro.circuit.linalg.FactorizationCache` enables
+the modified-Newton bypass: LU factors are re-used across iterations (and, in
+the transient analysis, across time steps) while the Jacobian drifts less
+than the cache's tolerance, with an automatic refactor when the residual
+stops contracting.
+"""
 
 from __future__ import annotations
 
@@ -6,8 +15,10 @@ from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+import scipy.sparse as _sp
 
 from ..exceptions import SingularMatrixError
+from .linalg import FactorizationCache, solve_linear
 
 __all__ = ["NewtonOptions", "NewtonResult", "newton_solve"]
 
@@ -27,7 +38,13 @@ class NewtonOptions:
     abs_tol: float = 1e-9
     rel_tol: float = 1e-6
     max_step: float = 1.0
-    singular_threshold: float = 1e-18
+    #: Dense LU pivots at or below this magnitude raise SingularMatrixError
+    #: (0 keeps NumPy's exact-singularity detection only).  Forwarded to the
+    #: FactorizationCache the analyses build around this iteration.
+    singular_threshold: float = 0.0
+    #: Residual contraction factor above which a cached (stale) LU factor is
+    #: invalidated so the next iteration refactors the fresh Jacobian.
+    stale_contraction_limit: float = 0.5
 
 
 @dataclass
@@ -43,20 +60,44 @@ class NewtonResult:
         return self.converged
 
 
+def _solve_step(jacobian, rhs: np.ndarray, iteration: int,
+                linear_solver: FactorizationCache | None,
+                singular_threshold: float) -> np.ndarray:
+    try:
+        if linear_solver is not None:
+            return linear_solver.solve(jacobian, rhs)
+        if _sp.issparse(jacobian):
+            return solve_linear(jacobian, rhs)
+        if singular_threshold > 0.0:
+            cache = FactorizationCache(singular_threshold=singular_threshold)
+            return cache.solve(jacobian, rhs)
+        return np.linalg.solve(jacobian, rhs)
+    except (np.linalg.LinAlgError, SingularMatrixError) as exc:
+        raise SingularMatrixError(
+            f"singular Jacobian during Newton iteration {iteration}") from exc
+
+
 def newton_solve(residual_and_jacobian: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]],
                  initial_guess: np.ndarray,
-                 options: NewtonOptions | None = None) -> NewtonResult:
+                 options: NewtonOptions | None = None,
+                 linear_solver: FactorizationCache | None = None) -> NewtonResult:
     """Solve ``f(v) = 0`` with a damped Newton iteration.
 
     Parameters
     ----------
     residual_and_jacobian:
-        Callable returning ``(f(v), J(v))`` for a trial solution ``v``.
+        Callable returning ``(f(v), J(v))`` for a trial solution ``v``.  The
+        Jacobian may be dense or ``scipy.sparse``.
     initial_guess:
         Starting point; not modified.
     options:
         :class:`NewtonOptions`; defaults are suitable for the circuits in this
         repository.
+    linear_solver:
+        Optional :class:`FactorizationCache` used to solve the Newton updates.
+        A cache with a non-zero reuse tolerance turns the iteration into a
+        modified Newton method that skips refactorisation while the Jacobian
+        barely changes; convergence is still judged on the exact residual.
     """
     opts = options or NewtonOptions()
     v = np.array(initial_guess, dtype=float, copy=True)
@@ -64,11 +105,8 @@ def newton_solve(residual_and_jacobian: Callable[[np.ndarray], tuple[np.ndarray,
     residual_norm = float(np.linalg.norm(residual, ord=np.inf))
 
     for iteration in range(1, opts.max_iterations + 1):
-        try:
-            delta = np.linalg.solve(jacobian, -residual)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(
-                f"singular Jacobian during Newton iteration {iteration}") from exc
+        delta = _solve_step(jacobian, -residual, iteration, linear_solver,
+                            opts.singular_threshold)
         if not np.all(np.isfinite(delta)):
             raise SingularMatrixError(
                 f"non-finite Newton update at iteration {iteration}")
@@ -92,6 +130,13 @@ def newton_solve(residual_and_jacobian: Callable[[np.ndarray], tuple[np.ndarray,
             residual_new, jacobian_new = residual_and_jacobian(v_new)
             residual_norm_new = float(np.linalg.norm(residual_new, ord=np.inf))
             backtrack += 1
+
+        # Stale factors that no longer contract the residual are evicted so
+        # the next solve refactors the up-to-date Jacobian.
+        if (linear_solver is not None and linear_solver.reused_last
+                and residual_norm_new > opts.stale_contraction_limit * residual_norm
+                and residual_norm_new > opts.abs_tol):
+            linear_solver.invalidate()
 
         update_norm = float(np.max(np.abs(v_new - v))) if v.size else 0.0
         v, residual, jacobian = v_new, residual_new, jacobian_new

@@ -28,7 +28,13 @@ import re
 from dataclasses import dataclass, field
 
 from ..exceptions import NetlistParseError
-from ..units import parse_value
+import functools
+
+from ..units import parse_value as _parse_value
+
+# Netlist tokens keep classic case-insensitive SPICE semantics ("1M" = 1 milli);
+# the SI-style uppercase-M-as-mega reading is for report round-trips only.
+parse_value = functools.partial(_parse_value, strict_spice=True)
 from .devices import MOSFETParams
 from .netlist import Circuit
 from .waveforms import DC, Pulse, Sine, Waveform

@@ -15,13 +15,15 @@ feeds the Transfer Function Trajectory extraction.
 from __future__ import annotations
 
 import time as _time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Protocol
 
 import numpy as np
 
-from ..exceptions import ConvergenceError
+from ..exceptions import ConvergenceError, SingularMatrixError
+from .assembly import select_engine
 from .dc import DCOptions, dc_operating_point
+from .linalg import FactorizationCache
 from .mna import MNASystem
 from .newton import NewtonOptions, newton_solve
 
@@ -57,6 +59,21 @@ class TransientOptions:
     max_points: int = 2_000_000
     #: Record a snapshot every ``snapshot_stride`` accepted steps (0 disables).
     snapshot_stride: int = 1
+    #: Matrix assembly backend: "auto" (compiled engine, sparse CSC storage
+    #: above the size threshold), "dense", "sparse" or "legacy" (the original
+    #: per-device dense stamping path, kept as reference and benchmark
+    #: baseline).
+    assembly: str = "auto"
+    #: Relative Jacobian drift below which cached LU factors are re-used
+    #: across Newton iterations and time steps (modified-Newton bypass).
+    #: Only active for non-legacy assembly.  The default of 0.0 re-uses
+    #: factors only for bit-identical Jacobians — a large win for linear
+    #: circuits (one factorisation per dt) at zero convergence cost; raising
+    #: it trades Newton iterations for factorisations, which only pays off
+    #: for systems large enough that the LU dominates an iteration.
+    jacobian_reuse_tol: float = 0.0
+    #: Extrapolate the previous two solutions as the Newton initial guess.
+    predictor: bool = True
 
     def validate(self) -> None:
         if self.t_stop <= self.t_start:
@@ -127,8 +144,18 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
     options.validate()
     wall_start = _time.perf_counter()
 
+    engine = select_engine(system, options.assembly)
+    legacy = options.assembly == "legacy"
+    cache = None if legacy else FactorizationCache(
+        reuse_tolerance=options.jacobian_reuse_tol,
+        singular_threshold=options.newton.singular_threshold)
+    use_predictor = options.predictor and not legacy
+
     if initial_state is None:
-        dc_result = dc_operating_point(system, t=options.t_start, options=options.dc)
+        dc_options = options.dc
+        if legacy and dc_options.assembly != "legacy":
+            dc_options = replace(dc_options, assembly="legacy")
+        dc_result = dc_operating_point(system, t=options.t_start, options=dc_options)
         v = dc_result.solution.copy()
     else:
         v = np.array(initial_state, dtype=float, copy=True)
@@ -143,8 +170,8 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
     inputs = [u0]
     outputs = [system.output(v)]
 
-    i_vec, g_mat = system.eval_static(v)
-    q_vec, c_mat = system.eval_dynamic(v)
+    i_vec, g_op = engine.eval_static(v)
+    q_vec, c_op = engine.eval_dynamic(v)
     # dq/dt at the initial point; at a true DC point this is ~0.
     qdot = system.excitation(options.t_start) - i_vec
 
@@ -153,12 +180,16 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
 
     if snapshot_callback is not None and options.snapshot_stride > 0:
         snapshot_callback.record(options.t_start, v.copy(), u0,
-                                 system.output(v), g_mat.copy(), c_mat.copy())
+                                 system.output(v),
+                                 engine.materialize(g_op.copy()),
+                                 engine.materialize(c_op.copy()))
 
     t = options.t_start
     dt = options.dt
     min_dt = options.dt * options.min_dt_factor
     step_index = 0
+    v_prev: np.ndarray | None = None
+    dt_prev = dt
 
     while t < options.t_stop - 1e-18:
         dt = min(dt, options.t_stop - t)
@@ -170,28 +201,54 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
         captured: dict[str, np.ndarray] = {}
 
         def residual_and_jacobian(v_trial: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-            i_trial, g_trial = system.eval_static(v_trial)
-            q_trial, c_trial = system.eval_dynamic(v_trial)
+            i_trial, g_trial = engine.eval_static(v_trial)
+            q_trial, c_trial = engine.eval_dynamic(v_trial)
             if use_trap:
                 residual = (2.0 / dt) * (q_trial - q_prev) - qdot_prev + i_trial - excitation
-                jac = (2.0 / dt) * c_trial + g_trial
+                jac = engine.combine(g_trial, c_trial, 2.0 / dt)
             else:
                 residual = (q_trial - q_prev) / dt + i_trial - excitation
-                jac = c_trial / dt + g_trial
+                jac = engine.combine(g_trial, c_trial, 1.0 / dt)
             if gmin:
                 residual[:n_nodes] += gmin * v_trial[:n_nodes]
-                jac = jac.copy()
-                jac[np.arange(n_nodes), np.arange(n_nodes)] += gmin
+                engine.add_diag(jac, gmin, n_nodes)
             captured["i"], captured["G"] = i_trial, g_trial
             captured["q"], captured["C"] = q_trial, c_trial
-            return residual, jac
+            return residual, engine.materialize(jac)
 
-        result = newton_solve(residual_and_jacobian, v, options.newton)
-        total_newton += result.iterations
+        # Polynomial predictor: extrapolate the last two accepted solutions.
+        guess = v
+        if use_predictor and v_prev is not None and dt_prev > 0.0:
+            predicted = v + (v - v_prev) * (dt / dt_prev)
+            if np.all(np.isfinite(predicted)):
+                guess = predicted
+
+        try:
+            result = newton_solve(residual_and_jacobian, guess, options.newton,
+                                  linear_solver=cache)
+            total_newton += result.iterations
+            predictor_failed = not result.converged and guess is not v
+        except SingularMatrixError:
+            # Overshooting into a pathological region can make the Jacobian
+            # singular/non-finite; only the extrapolated guess may recover by
+            # restarting — from the accepted solution this is fatal, as before.
+            if guess is v:
+                raise
+            predictor_failed = True
+        if predictor_failed:
+            # The extrapolated guess can overshoot strong nonlinearities;
+            # retry once from the last accepted solution before shrinking dt.
+            if cache is not None:
+                cache.invalidate()
+            result = newton_solve(residual_and_jacobian, v, options.newton,
+                                  linear_solver=cache)
+            total_newton += result.iterations
 
         if not result.converged:
             rejected += 1
             dt *= 0.5
+            if cache is not None:
+                cache.invalidate()
             if dt < min_dt:
                 raise ConvergenceError(
                     f"transient analysis of {system.circuit.name!r} failed at "
@@ -200,9 +257,11 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
             continue
 
         # Accept the step.
+        v_prev = v
+        dt_prev = dt
         v = result.solution
         q_vec = captured["q"]
-        g_mat, c_mat = captured["G"], captured["C"]
+        g_op, c_op = captured["G"], captured["C"]
         i_vec = captured["i"]
         if use_trap:
             qdot = (2.0 / dt) * (q_vec - q_prev) - qdot_prev
@@ -220,7 +279,9 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
 
         if (snapshot_callback is not None and options.snapshot_stride > 0
                 and step_index % options.snapshot_stride == 0):
-            snapshot_callback.record(t, v.copy(), u_new, y_new, g_mat.copy(), c_mat.copy())
+            snapshot_callback.record(t, v.copy(), u_new, y_new,
+                                     engine.materialize(g_op.copy()),
+                                     engine.materialize(c_op.copy()))
 
         if progress is not None:
             progress((t - options.t_start) / (options.t_stop - options.t_start))

@@ -1,0 +1,200 @@
+"""Batched execution of simulation scenarios with snapshot capture.
+
+:func:`run_sweep` fans a list of :class:`~repro.sweep.scenarios.Scenario`
+objects across a multiprocessing pool (or runs them serially).  Every worker
+rebuilds its scenario's circuit from the picklable builder recipe, runs the
+transient analysis on the compiled assembly engine and captures a private
+:class:`~repro.tft.SnapshotTrajectory` — the per-scenario ``{G(k), C(k)}``
+snapshot set that the TFT extraction consumes.  Results come back in scenario
+order inside a :class:`SweepResult`, which offers both per-scenario TFT
+datasets and a combined trajectory covering the union of all runs.
+"""
+
+from __future__ import annotations
+
+import time as _time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..circuit.transient import TransientResult, transient_analysis
+from ..exceptions import ReproError
+from ..tft import SnapshotTrajectory, TFTDataset, extract_tft
+from .scenarios import Scenario, validate_scenarios
+
+__all__ = ["SweepOptions", "ScenarioResult", "SweepResult", "run_sweep"]
+
+
+@dataclass
+class SweepOptions:
+    """Execution options of a sweep."""
+
+    #: Number of worker processes; ``None``, 0 or 1 runs serially in-process.
+    n_workers: int | None = None
+    #: Capture Jacobian snapshots during each transient (disable for pure
+    #: waveform sweeps where only the outputs matter — much lighter results).
+    capture_snapshots: bool = True
+    #: Raise if any scenario fails (otherwise failures are collected on the
+    #: individual :class:`ScenarioResult` objects).
+    raise_on_error: bool = True
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario."""
+
+    scenario: Scenario
+    transient: TransientResult | None = None
+    trajectory: SnapshotTrajectory | None = None
+    wall_time: float = 0.0
+    error: str | None = None
+
+    @property
+    def name(self) -> str:
+        return self.scenario.name
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _run_scenario(scenario: Scenario, capture_snapshots: bool) -> ScenarioResult:
+    """Build, simulate and snapshot one scenario (runs inside workers)."""
+    start = _time.perf_counter()
+    try:
+        system = scenario.build_circuit().build()
+        trajectory = SnapshotTrajectory(system) if capture_snapshots else None
+        result = transient_analysis(system, scenario.transient,
+                                    snapshot_callback=trajectory)
+        if trajectory is not None and scenario.max_snapshots is not None:
+            trajectory = trajectory.subsample(scenario.max_snapshots)
+        return ScenarioResult(scenario=scenario, transient=result,
+                              trajectory=trajectory,
+                              wall_time=_time.perf_counter() - start)
+    except Exception:  # noqa: BLE001 - workers must report, not crash the pool
+        return ScenarioResult(scenario=scenario, error=traceback.format_exc(),
+                              wall_time=_time.perf_counter() - start)
+
+
+class SweepResult:
+    """Ordered collection of scenario results with TFT-ready accessors."""
+
+    def __init__(self, results: Sequence[ScenarioResult], wall_time: float,
+                 n_workers: int) -> None:
+        self.results = list(results)
+        self.wall_time = float(wall_time)
+        self.n_workers = int(n_workers)
+
+    # ----------------------------------------------------------------- access
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, key: int | str) -> ScenarioResult:
+        if isinstance(key, str):
+            for result in self.results:
+                if result.name == key:
+                    return result
+            raise KeyError(f"no scenario named {key!r} in sweep")
+        return self.results[key]
+
+    @property
+    def names(self) -> list[str]:
+        return [r.name for r in self.results]
+
+    @property
+    def failed(self) -> list[ScenarioResult]:
+        return [r for r in self.results if not r.ok]
+
+    def trajectories(self) -> dict[str, SnapshotTrajectory]:
+        """Per-scenario snapshot trajectories (successful scenarios only)."""
+        return {r.name: r.trajectory for r in self.results
+                if r.ok and r.trajectory is not None}
+
+    # ---------------------------------------------------------------- TFT feed
+    def extract_tfts(self, frequencies: np.ndarray | None = None,
+                     max_snapshots: int | None = None,
+                     gmin: float = 0.0) -> dict[str, TFTDataset]:
+        """One TFT dataset per successful scenario."""
+        return {name: extract_tft(trajectory, frequencies,
+                                  max_snapshots=max_snapshots, gmin=gmin)
+                for name, trajectory in self.trajectories().items()}
+
+    def combined_trajectory(self) -> SnapshotTrajectory:
+        """All scenarios' snapshots merged into one trajectory.
+
+        Requires every scenario to share the circuit topology (identical
+        unknown count and input/output dimensions) — i.e. waveform or value
+        corners of *one* circuit family.  The merged trajectory's state axis
+        covers the union of the per-scenario input excursions, which is what
+        makes multi-stimulus TFT training cover more of the hyperplane than
+        any single transient.
+        """
+        trajectories = list(self.trajectories().values())
+        if not trajectories:
+            raise ReproError("sweep produced no snapshot trajectories to combine")
+        first = trajectories[0]
+        shape = (first.system.n_unknowns, first.n_inputs, first.n_outputs)
+        merged = SnapshotTrajectory(first.system)
+        for trajectory in trajectories:
+            t_shape = (trajectory.system.n_unknowns, trajectory.n_inputs,
+                       trajectory.n_outputs)
+            if t_shape != shape:
+                raise ReproError(
+                    "cannot combine snapshot trajectories of different circuit "
+                    f"topologies: {t_shape} vs {shape}")
+            merged.snapshots.extend(trajectory.snapshots)
+        return merged
+
+    def extract_combined_tft(self, frequencies: np.ndarray | None = None,
+                             max_snapshots: int | None = None,
+                             gmin: float = 0.0) -> TFTDataset:
+        """TFT dataset of the merged snapshot family (see above)."""
+        return extract_tft(self.combined_trajectory(), frequencies,
+                           max_snapshots=max_snapshots, gmin=gmin)
+
+    # ------------------------------------------------------------- diagnostics
+    def describe(self) -> str:
+        ok = sum(1 for r in self.results if r.ok)
+        snaps = sum(len(r.trajectory) for r in self.results
+                    if r.ok and r.trajectory is not None)
+        return (f"sweep of {len(self.results)} scenario(s): {ok} succeeded, "
+                f"{len(self.results) - ok} failed, {snaps} snapshots captured, "
+                f"{self.wall_time:.2f}s wall on {self.n_workers} worker(s)")
+
+
+def run_sweep(scenarios: Iterable[Scenario],
+              options: SweepOptions | None = None) -> SweepResult:
+    """Execute all scenarios and collect their trajectories.
+
+    With ``options.n_workers > 1`` the scenarios run on a process pool; each
+    worker rebuilds its circuit from the scenario recipe (circuits, waveforms
+    and results are plain picklable objects).  Results are returned in
+    scenario order regardless of completion order.
+    """
+    opts = options or SweepOptions()
+    scenario_list = validate_scenarios(scenarios)
+    n_workers = int(opts.n_workers or 1)
+    wall_start = _time.perf_counter()
+
+    if n_workers <= 1 or len(scenario_list) <= 1:
+        n_workers = 1
+        results = [_run_scenario(s, opts.capture_snapshots) for s in scenario_list]
+    else:
+        n_workers = min(n_workers, len(scenario_list))
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(pool.map(
+                _run_scenario, scenario_list,
+                [opts.capture_snapshots] * len(scenario_list)))
+
+    sweep = SweepResult(results, _time.perf_counter() - wall_start, n_workers)
+    if opts.raise_on_error and sweep.failed:
+        details = "\n".join(f"--- {r.name} ---\n{r.error}" for r in sweep.failed)
+        raise ReproError(
+            f"{len(sweep.failed)} of {len(sweep)} sweep scenario(s) failed:\n{details}")
+    return sweep

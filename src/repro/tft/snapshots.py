@@ -59,6 +59,18 @@ class SnapshotTrajectory:
         self.snapshots: list[JacobianSnapshot] = []
 
     # -------------------------------------------------------------- recording
+    @staticmethod
+    def _as_dense(matrix) -> np.ndarray:
+        """Dense copy of a Jacobian handed in by the solver.
+
+        The sparse-assembly transient engine delivers ``scipy.sparse`` CSC
+        matrices; the TFT transform math downstream is dense, so snapshots
+        are stored densified either way.
+        """
+        if hasattr(matrix, "toarray"):
+            return matrix.toarray()
+        return np.array(matrix, copy=True)
+
     def record(self, t: float, v: np.ndarray, u: np.ndarray, y: np.ndarray,
                g_matrix: np.ndarray, c_matrix: np.ndarray) -> None:
         self.snapshots.append(JacobianSnapshot(
@@ -66,8 +78,8 @@ class SnapshotTrajectory:
             state=np.array(v, copy=True),
             inputs=np.atleast_1d(np.array(u, copy=True, dtype=float)),
             outputs=np.atleast_1d(np.array(y, copy=True, dtype=float)),
-            conductance=np.array(g_matrix, copy=True),
-            capacitance=np.array(c_matrix, copy=True),
+            conductance=self._as_dense(g_matrix),
+            capacitance=self._as_dense(c_matrix),
         ))
 
     # ----------------------------------------------------------------- access

@@ -52,7 +52,6 @@ def snapshot_transfer_function(snapshot: JacobianSnapshot, input_matrix: np.ndar
     frequencies = np.asarray(frequencies, dtype=float).ravel()
     n_outputs = output_matrix.shape[1]
     n_inputs = input_matrix.shape[1]
-    response = np.empty((frequencies.size, n_outputs, n_inputs), dtype=complex)
     try:
         dc_solve = np.linalg.solve(g_mat, input_matrix)
     except np.linalg.LinAlgError as exc:
@@ -60,6 +59,18 @@ def snapshot_transfer_function(snapshot: JacobianSnapshot, input_matrix: np.ndar
             "G(k) is singular at s=0; the circuit has a floating node or an "
             "all-capacitive cutset — add a leakage path or pass gmin > 0") from exc
     dc_response = output_matrix.T @ dc_solve
+
+    s_values = 2j * np.pi * frequencies
+    try:
+        # Batched LAPACK solves, chunked along the frequency axis to bound
+        # the peak memory of the (chunk, n, n) system stack.
+        from ..circuit.linalg import batched_transfer
+        return batched_transfer(g_mat, c_mat, s_values,
+                                input_matrix, output_matrix), dc_response
+    except np.linalg.LinAlgError:
+        pass
+    # Fall back to the per-frequency loop to report *which* frequency failed.
+    response = np.empty((frequencies.size, n_outputs, n_inputs), dtype=complex)
     for idx, freq in enumerate(frequencies):
         s = 2j * np.pi * freq
         try:

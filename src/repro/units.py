@@ -58,13 +58,21 @@ _VALUE_RE = re.compile(
 )
 
 
-def parse_value(token: str | float | int) -> float:
+def parse_value(token: str | float | int, strict_spice: bool = False) -> float:
     """Parse a SPICE-style value token such as ``"10k"`` or ``"2.5u"``.
 
     Numeric inputs are passed through unchanged.  Unknown alphabetic
     suffixes are tolerated the SPICE way: only the leading recognised prefix
     counts (``100pF`` parses as ``100e-12``), but a completely unknown suffix
     on its own raises :class:`~repro.exceptions.NetlistParseError`.
+
+    By default an *uppercase* ``M`` means mega (SI convention, matching
+    :func:`format_si` output so that format/parse round-trips), while
+    lowercase ``m`` remains milli and the classic ``meg``/``MEG`` spelling
+    works in any case.  The netlist parser passes ``strict_spice=True``,
+    under which suffixes are fully case-insensitive and ``M`` keeps its
+    traditional SPICE meaning of milli — a netlist imported from another
+    tool must not silently change by nine orders of magnitude.
     """
     if isinstance(token, (int, float)):
         return float(token)
@@ -72,10 +80,13 @@ def parse_value(token: str | float | int) -> float:
     if match is None:
         raise NetlistParseError(f"cannot parse value {token!r}")
     value = float(match.group("number"))
-    suffix = match.group("suffix").lower()
+    raw_suffix = match.group("suffix")
+    suffix = raw_suffix.lower()
     if not suffix:
         return value
     if suffix.startswith("meg"):
+        return value * 1e6
+    if not strict_spice and raw_suffix[0] == "M":
         return value * 1e6
     prefix = suffix[0]
     if prefix in _SPICE_SUFFIXES:

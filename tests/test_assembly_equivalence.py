@@ -1,0 +1,209 @@
+"""Dense / sparse / legacy assembly equivalence on randomised MNA systems.
+
+The compiled engine (:mod:`repro.circuit.assembly`) must be an exact drop-in
+for the legacy per-device dense stamping: same matrices, same DC operating
+points, same AC responses and same transient trajectories.  These tests build
+randomised RC/nonlinear networks with hypothesis and assert the three
+assembly backends agree to tight tolerance for every analysis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    Circuit,
+    CubicConductance,
+    DCOptions,
+    Sine,
+    TransientOptions,
+    ac_analysis,
+    dc_operating_point,
+    frequency_grid,
+    transient_analysis,
+)
+from repro.circuit.assembly import CompiledMNA
+from repro.circuits import build_rc_ladder
+
+SETTINGS = dict(max_examples=12, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def random_network(n_sections: int, resistances, capacitances, nonlinear_flags,
+                   diode_at: int | None = None) -> Circuit:
+    """Driven ladder with optional cubic shunts and one optional diode."""
+    circuit = Circuit("random_net")
+    circuit.voltage_source("Vin", "n0", "0", Sine(0.5, 0.3, 1e6), is_input=True)
+    for k in range(1, n_sections + 1):
+        circuit.resistor(f"R{k}", f"n{k - 1}", f"n{k}", resistances[k - 1])
+        circuit.capacitor(f"C{k}", f"n{k}", "0", capacitances[k - 1])
+        if nonlinear_flags[k - 1]:
+            circuit.add(CubicConductance(f"Gnl{k}", f"n{k}", "0",
+                                         g1=1e-3, g3=2e-4))
+        if diode_at == k:
+            circuit.diode(f"D{k}", f"n{k}", "0", junction_capacitance=1e-12)
+    circuit.add_output("vout", f"n{n_sections}")
+    return circuit
+
+
+ladder_strategy = st.integers(min_value=1, max_value=6).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(st.floats(min_value=50.0, max_value=5e4), min_size=n, max_size=n),
+        st.lists(st.floats(min_value=1e-12, max_value=1e-8), min_size=n, max_size=n),
+        st.lists(st.booleans(), min_size=n, max_size=n),
+        st.one_of(st.none(), st.integers(min_value=1, max_value=n)),
+    ))
+
+
+class TestMatrixEquivalence:
+    @given(ladder_strategy)
+    @settings(**SETTINGS)
+    def test_compiled_matrices_match_legacy(self, spec):
+        n, res, caps, nl, diode_at = spec
+        system = random_network(n, res, caps, nl, diode_at).build()
+        rng = np.random.default_rng(42)
+        v = rng.normal(scale=0.4, size=system.n_unknowns)
+        i_ref, g_ref = system.eval_static(v)
+        q_ref, c_ref = system.eval_dynamic(v)
+        for mode in ("dense", "sparse"):
+            engine = CompiledMNA(system, sparse=(mode == "sparse"))
+            i_cmp, g_op = engine.eval_static(v)
+            q_cmp, c_op = engine.eval_dynamic(v)
+            np.testing.assert_allclose(i_cmp, i_ref, rtol=1e-10, atol=1e-14, err_msg=mode)
+            np.testing.assert_allclose(q_cmp, q_ref, rtol=1e-10, atol=1e-16, err_msg=mode)
+            np.testing.assert_allclose(engine.to_dense(g_op), g_ref,
+                                       rtol=1e-10, atol=1e-14, err_msg=mode)
+            np.testing.assert_allclose(engine.to_dense(c_op), c_ref,
+                                       rtol=1e-10, atol=1e-18, err_msg=mode)
+
+
+class TestDCEquivalence:
+    @given(ladder_strategy)
+    @settings(**SETTINGS)
+    def test_dc_operating_point_matches(self, spec):
+        n, res, caps, nl, diode_at = spec
+        system = random_network(n, res, caps, nl, diode_at).build()
+        reference = dc_operating_point(system, options=DCOptions(assembly="legacy"))
+        for mode in ("dense", "sparse"):
+            result = dc_operating_point(system, options=DCOptions(assembly=mode))
+            np.testing.assert_allclose(result.solution, reference.solution,
+                                       rtol=1e-7, atol=1e-9, err_msg=mode)
+
+
+class TestACEquivalence:
+    @given(ladder_strategy)
+    @settings(**SETTINGS)
+    def test_ac_response_matches(self, spec):
+        n, res, caps, nl, diode_at = spec
+        system = random_network(n, res, caps, nl, diode_at).build()
+        grid = frequency_grid(1e3, 1e9, 4)
+        reference = ac_analysis(system, grid, assembly="legacy")
+        for mode in ("dense", "sparse"):
+            result = ac_analysis(system, grid, assembly=mode)
+            scale = np.max(np.abs(reference.response))
+            np.testing.assert_allclose(result.response, reference.response,
+                                       rtol=1e-7, atol=1e-9 * scale, err_msg=mode)
+
+
+class TestTransientEquivalence:
+    @given(ladder_strategy)
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_transient_trajectory_matches(self, spec):
+        n, res, caps, nl, diode_at = spec
+        circuit = random_network(n, res, caps, nl, diode_at)
+        reference = transient_analysis(
+            circuit.build(), TransientOptions(t_stop=2e-7, dt=2e-9,
+                                              assembly="legacy"))
+        span = float(reference.outputs.max() - reference.outputs.min()) or 1.0
+        for mode in ("dense", "sparse"):
+            result = transient_analysis(
+                circuit.build(), TransientOptions(t_stop=2e-7, dt=2e-9,
+                                                  assembly=mode, predictor=False))
+            assert result.n_points == reference.n_points, mode
+            np.testing.assert_allclose(result.outputs, reference.outputs,
+                                       rtol=1e-6, atol=1e-7 * span, err_msg=mode)
+
+    def test_predictor_changes_nothing_measurable(self):
+        circuit = random_network(3, [1e3] * 3, [1e-9] * 3,
+                                 [True, False, True], diode_at=2)
+        base = transient_analysis(circuit.build(),
+                                  TransientOptions(t_stop=1e-6, dt=5e-9,
+                                                   predictor=False))
+        fast = transient_analysis(circuit.build(),
+                                  TransientOptions(t_stop=1e-6, dt=5e-9,
+                                                   predictor=True))
+        span = float(base.outputs.max() - base.outputs.min()) or 1.0
+        np.testing.assert_allclose(fast.outputs, base.outputs,
+                                   rtol=1e-5, atol=2e-6 * span)
+
+
+class TestEngineCacheInvalidation:
+    def test_invalidate_compiled_picks_up_device_mutation(self):
+        circuit = build_rc_ladder(2, resistance=1e3, capacitance=1e-9,
+                                  input_waveform=Sine(0.5, 0.1, 1e5))
+        system = circuit.build()
+        ac_analysis(system, frequency_grid(1e3, 1e8, 4))  # compiles + caches
+        resistor = next(d for d in circuit.devices if d.name == "R1")
+        resistor.resistance = 5e3
+        system.invalidate_compiled()
+        refreshed = ac_analysis(system, frequency_grid(1e3, 1e8, 4))
+        reference = ac_analysis(system, frequency_grid(1e3, 1e8, 4),
+                                assembly="legacy")
+        np.testing.assert_allclose(refreshed.response, reference.response,
+                                   rtol=1e-9, atol=1e-12)
+
+
+class TestBatchedTransferChunking:
+    def test_chunked_solve_matches_unchunked(self):
+        from repro.circuit.linalg import batched_transfer
+        system = build_rc_ladder(4, input_waveform=Sine(0.5, 0.1, 1e5)).build()
+        _, g = system.eval_static(system.zero_state())
+        _, c = system.eval_dynamic(system.zero_state())
+        s_values = 2j * np.pi * frequency_grid(1e3, 1e9, 4)
+        full = batched_transfer(g, c, s_values, system.input_matrix,
+                                system.output_matrix)
+        tiny_chunks = batched_transfer(g, c, s_values, system.input_matrix,
+                                       system.output_matrix, max_chunk_bytes=1)
+        np.testing.assert_allclose(tiny_chunks, full, rtol=0, atol=0)
+
+
+class TestBufferEquivalence:
+    """The paper's buffer: MOSFET-heavy, exercises the vectorised group."""
+
+    @pytest.fixture(scope="class")
+    def buffer_system(self):
+        from repro.circuits import build_output_buffer, buffer_training_waveform
+        return build_output_buffer(
+            input_waveform=buffer_training_waveform()).build()
+
+    def test_matrices_match(self, buffer_system):
+        rng = np.random.default_rng(7)
+        v = rng.normal(loc=0.5, scale=0.3, size=buffer_system.n_unknowns)
+        i_ref, g_ref = buffer_system.eval_static(v)
+        q_ref, c_ref = buffer_system.eval_dynamic(v)
+        for mode in (False, True):
+            engine = CompiledMNA(buffer_system, sparse=mode)
+            i_cmp, g_op = engine.eval_static(v)
+            q_cmp, c_op = engine.eval_dynamic(v)
+            np.testing.assert_allclose(i_cmp, i_ref, rtol=1e-9, atol=1e-15)
+            np.testing.assert_allclose(q_cmp, q_ref, rtol=1e-9, atol=1e-20)
+            np.testing.assert_allclose(engine.to_dense(g_op), g_ref,
+                                       rtol=1e-9, atol=1e-15)
+            np.testing.assert_allclose(engine.to_dense(c_op), c_ref,
+                                       rtol=1e-9, atol=1e-22)
+
+    def test_transient_matches_legacy(self, buffer_system):
+        from repro.circuits import buffer_training_waveform
+        period = 1.0 / buffer_training_waveform().frequency
+        options = dict(t_stop=period / 20, dt=period / 200)
+        reference = transient_analysis(buffer_system,
+                                       TransientOptions(assembly="legacy", **options))
+        result = transient_analysis(buffer_system,
+                                    TransientOptions(**options))
+        assert result.n_points == reference.n_points
+        span = float(reference.outputs.max() - reference.outputs.min()) or 1.0
+        np.testing.assert_allclose(result.outputs, reference.outputs,
+                                   rtol=0, atol=5e-5 * span)

@@ -24,7 +24,7 @@ from repro.rvf import (
 )
 from repro.tft import SnapshotTrajectory, default_frequency_grid, extract_tft
 
-from .conftest import build_nonlinear_lowpass
+from conftest import build_nonlinear_lowpass
 
 
 class TestRVFExtraction:

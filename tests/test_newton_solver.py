@@ -1,0 +1,229 @@
+"""Branch coverage for the damped Newton solver and the factor cache."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.circuit import FactorizationCache, NewtonOptions, newton_solve, solve_linear
+from repro.exceptions import SingularMatrixError
+
+
+class TestDampingClamp:
+    def test_large_update_is_clamped_to_max_step(self):
+        steps = []
+
+        def f(v):
+            steps.append(v[0])
+            return np.array([v[0] - 10.0]), np.array([[1.0]])
+
+        result = newton_solve(f, np.array([0.0]),
+                              NewtonOptions(max_step=1.0, max_iterations=30))
+        assert result.converged
+        assert result.solution[0] == pytest.approx(10.0)
+        # The raw Newton step is 10; the clamp forces unit-sized moves, so the
+        # first trial points walk 1.0 at a time.
+        assert steps[1] == pytest.approx(1.0)
+        assert steps[2] == pytest.approx(2.0)
+        assert result.iterations >= 10
+
+    def test_no_clamp_when_step_small(self):
+        def f(v):
+            return np.array([v[0] - 0.5]), np.array([[1.0]])
+
+        result = newton_solve(f, np.array([0.0]), NewtonOptions(max_step=1.0))
+        assert result.converged
+        # One productive step plus the confirming zero-update iteration.
+        assert result.iterations == 2
+        assert result.residual_norm == 0.0
+
+
+class TestBacktrackingLineSearch:
+    def test_backtracks_when_residual_explodes(self):
+        """Scripted residuals force the halving loop to run."""
+        evaluations = []
+
+        def f(v):
+            x = float(v[0])
+            evaluations.append(x)
+            # The understated Jacobian (0.1 instead of 1) makes Newton
+            # overshoot from 0 to 5, deep into the 1e6 "wall" beyond 0.75;
+            # three halvings bring the trial back into the benign region.
+            if x > 0.75:
+                return np.array([1e6]), np.array([[0.1]])
+            return np.array([x - 0.5]), np.array([[0.1]])
+
+        newton_solve(f, np.array([0.0]),
+                     NewtonOptions(max_step=10.0, max_iterations=1))
+        # Initial point, rejected full step and the halving sequence.
+        assert evaluations[:5] == [0.0, 5.0, 2.5, 1.25, 0.625]
+
+    def test_backtracking_gives_up_after_four_halvings(self):
+        calls = {"count": 0}
+
+        def f(v):
+            calls["count"] += 1
+            # First evaluation is fine, every subsequent one is terrible, so
+            # the line search halves 4 times and then accepts the bad point.
+            if calls["count"] == 1:
+                return np.array([1.0]), np.array([[1.0]])
+            return np.array([1e9]), np.array([[1.0]])
+
+        result = newton_solve(f, np.array([0.0]),
+                              NewtonOptions(max_iterations=1, max_step=10.0))
+        assert not result.converged
+        # 1 initial + 1 full step + 4 backtracks = 6 evaluations.
+        assert calls["count"] == 6
+
+
+class TestSingularAndNonFinite:
+    def test_singular_dense_jacobian_raises(self):
+        def f(v):
+            return np.array([1.0, 1.0]), np.array([[1.0, 1.0], [1.0, 1.0]])
+
+        with pytest.raises(SingularMatrixError, match="iteration 1"):
+            newton_solve(f, np.zeros(2))
+
+    def test_singular_sparse_jacobian_raises(self):
+        jac = sp.csc_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+
+        def f(v):
+            return np.array([1.0, 1.0]), jac
+
+        with pytest.raises(SingularMatrixError):
+            newton_solve(f, np.zeros(2))
+
+    def test_singular_jacobian_with_cache_raises(self):
+        def f(v):
+            return np.array([1.0, 1.0]), np.array([[1.0, 1.0], [1.0, 1.0]])
+
+        with pytest.raises(SingularMatrixError):
+            newton_solve(f, np.zeros(2), linear_solver=FactorizationCache())
+
+    def test_non_finite_update_raises(self):
+        def f(v):
+            return np.array([np.inf]), np.array([[1.0]])
+
+        with pytest.raises(SingularMatrixError, match="non-finite"):
+            newton_solve(f, np.array([0.0]))
+
+
+class TestNonConvergenceReporting:
+    def test_reports_iterations_and_residual(self):
+        def f(v):
+            # No root: f = cos(v) + 2 is always >= 1.
+            return np.array([np.cos(v[0]) + 2.0]), np.array([[-np.sin(v[0]) - 1e-3]])
+
+        result = newton_solve(f, np.array([0.1]),
+                              NewtonOptions(max_iterations=7, max_step=0.5))
+        assert not result.converged
+        assert result.iterations == 7
+        assert result.residual_norm >= 1.0
+        assert not bool(result)
+
+
+class TestFactorizationCache:
+    def test_reuses_identical_dense_matrix(self):
+        cache = FactorizationCache()
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([1.0, 2.0])
+        x1 = cache.solve(a, b)
+        x2 = cache.solve(a.copy(), b)
+        assert cache.factorizations == 1
+        assert cache.reuses == 1
+        assert np.allclose(a @ x1, b) and np.allclose(a @ x2, b)
+
+    def test_refactors_on_drift_beyond_tolerance(self):
+        cache = FactorizationCache(reuse_tolerance=1e-3)
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        b = np.array([1.0, 2.0])
+        cache.solve(a, b)
+        cache.solve(a * (1.0 + 1e-6), b)       # within tolerance: reuse
+        assert cache.reuses == 1
+        cache.solve(a * 1.5, b)                # way out: refactor
+        assert cache.factorizations == 2
+        x = cache.solve(a * 1.5, b)
+        assert np.allclose((a * 1.5) @ x, b)
+
+    def test_stale_solution_is_approximate_but_fresh_is_exact(self):
+        cache = FactorizationCache(reuse_tolerance=0.5)
+        a = np.array([[2.0, 0.0], [0.0, 2.0]])
+        b = np.array([2.0, 2.0])
+        cache.solve(a, b)
+        stale = cache.solve(a * 1.2, b)        # reused factors of a
+        assert cache.reused_last
+        assert np.allclose(stale, [1.0, 1.0])  # solves with the OLD matrix
+        cache.invalidate()
+        fresh = cache.solve(a * 1.2, b)
+        assert not cache.reused_last
+        assert np.allclose(fresh, [1.0 / 1.2, 1.0 / 1.2])
+
+    def test_sparse_reuse_and_refactor(self):
+        cache = FactorizationCache(reuse_tolerance=0.0)
+        a = sp.csc_matrix(np.array([[2.0, 1.0], [0.0, 3.0]]))
+        b = np.array([1.0, 3.0])
+        x1 = cache.solve(a, b)
+        cache.solve(a.copy(), b)
+        assert cache.factorizations == 1 and cache.reuses == 1
+        a2 = sp.csc_matrix(np.array([[4.0, 1.0], [0.0, 3.0]]))
+        x2 = cache.solve(a2, b)
+        assert cache.factorizations == 2
+        assert np.allclose(a @ x1, b) and np.allclose(a2.toarray() @ x2, b)
+
+    def test_solve_linear_sparse_singular(self):
+        singular = sp.csc_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))
+        with pytest.raises(SingularMatrixError):
+            solve_linear(singular, np.ones(2))
+
+    def test_solve_linear_dense_matches_numpy(self):
+        a = np.array([[3.0, 1.0], [1.0, 2.0]])
+        b = np.array([1.0, 0.5])
+        assert np.allclose(solve_linear(a, b), np.linalg.solve(a, b))
+
+
+class TestModifiedNewtonOnCircuits:
+    def test_linear_transient_factorizes_once(self):
+        """A linear circuit's Jacobian is constant: one LU for the whole run."""
+        from repro.circuit import Sine, TransientOptions, transient_analysis
+        from repro.circuit.linalg import FactorizationCache as Cache
+        import repro.circuit.transient as transient_mod
+
+        created = []
+        original = transient_mod.FactorizationCache
+
+        def spy(*args, **kwargs):
+            cache = original(*args, **kwargs)
+            created.append(cache)
+            return cache
+
+        from repro.circuits import build_rc_ladder
+        circuit = build_rc_ladder(3, input_waveform=Sine(0.5, 0.2, 1e6))
+        system = circuit.build()
+        transient_mod.FactorizationCache = spy
+        try:
+            transient_analysis(system, TransientOptions(t_stop=1e-6, dt=1e-8))
+        finally:
+            transient_mod.FactorizationCache = original
+        assert len(created) == 1
+        cache = created[0]
+        # Constant Jacobian -> one factorisation (plus at most one more for
+        # the final, fractionally shorter step); everything else is reused.
+        assert cache.factorizations <= 2
+        assert cache.reuses > 50
+
+
+class TestSingularThreshold:
+    def test_near_singular_pivot_raises_when_threshold_set(self):
+        def f(v):
+            return np.array([1.0, 1.0]), np.array([[1.0, 0.0], [0.0, 1e-15]])
+
+        with pytest.raises(SingularMatrixError):
+            newton_solve(f, np.zeros(2),
+                         NewtonOptions(singular_threshold=1e-12))
+
+    def test_near_singular_pivot_tolerated_by_default(self):
+        def f(v):
+            return np.array([v[0] - 1.0, 1e-15 * v[1]]), \
+                np.array([[1.0, 0.0], [0.0, 1e-15]])
+
+        result = newton_solve(f, np.zeros(2), NewtonOptions(max_iterations=3))
+        assert np.isfinite(result.solution).all()

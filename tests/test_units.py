@@ -98,3 +98,26 @@ class TestFormatSi:
         text = format_si(4.7e-12, "F")
         number = text.split()[0] + text.split()[1][0]
         assert parse_value(number) == pytest.approx(4.7e-12, rel=1e-6)
+
+
+class TestStrictSpiceMode:
+    """Uppercase M: SI mega by default, classic milli for netlist tokens."""
+
+    def test_default_uppercase_m_is_mega(self):
+        assert parse_value("1M") == pytest.approx(1e6)
+
+    def test_strict_spice_uppercase_m_is_milli(self):
+        assert parse_value("1M", strict_spice=True) == pytest.approx(1e-3)
+
+    def test_strict_spice_meg_still_mega(self):
+        assert parse_value("1MEG", strict_spice=True) == pytest.approx(1e6)
+
+    def test_netlist_parser_uses_strict_spice(self):
+        from repro.circuit.parser import parse_netlist
+        circuit = parse_netlist("""* strict spice semantics
+V1 in 0 DC 1 input
+C1 in 0 1M
+.output v in
+""")
+        cap = next(d for d in circuit.devices if d.name == "C1")
+        assert cap.capacitance == pytest.approx(1e-3)
