@@ -1,0 +1,53 @@
+"""Machine-readable benchmark artifacts (``BENCH_*.json``).
+
+Benchmark tests print human-readable reports with ``-s``; in addition they
+record their measurements through :func:`record_benchmark`, which merges one
+section per test into a JSON artifact at the repository root (or
+``$BENCH_ARTIFACT_DIR``).  CI uploads the ``BENCH_*.json`` files, so the perf
+trajectory of the engine and the model runtime stays diffable across commits
+without scraping log output.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+__all__ = ["artifact_path", "record_benchmark"]
+
+
+def artifact_path(filename: str) -> Path:
+    """Where a benchmark artifact lands (repo root unless overridden)."""
+    root = os.environ.get("BENCH_ARTIFACT_DIR")
+    base = Path(root) if root else Path(__file__).resolve().parent.parent
+    return base / filename
+
+
+def record_benchmark(filename: str, section: str, payload: dict) -> Path:
+    """Merge one benchmark's measurements into a JSON artifact.
+
+    ``payload`` must be JSON-able (floats/ints/strings/lists/dicts); each
+    test writes its own ``section`` so repeated runs overwrite only their own
+    numbers.
+    """
+    path = artifact_path(filename)
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    if not isinstance(data, dict):
+        data = {}
+    meta = data.setdefault("meta", {})
+    meta.update({
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "updated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    })
+    data.setdefault("results", {})[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path

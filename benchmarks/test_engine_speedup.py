@@ -20,6 +20,8 @@ from repro.circuit import TransientOptions, transient_analysis
 from repro.circuit.waveforms import Sine
 from repro.circuits import build_output_buffer, buffer_training_waveform, build_rc_ladder
 
+from .artifacts import record_benchmark
+
 
 def _best_wall_time(system, options, repeats=3):
     """Best-of-N wall time and the result of the last run."""
@@ -53,6 +55,14 @@ class TestBufferTransientSpeedup:
                   f"{r_compiled.newton_iterations} Newton iterations vs "
                   f"{r_legacy.newton_iterations} legacy)")
 
+        record_benchmark("BENCH_engine.json", "buffer_transient", {
+            "legacy_ms": t_legacy * 1e3,
+            "compiled_ms": t_compiled * 1e3,
+            "speedup": speedup,
+            "n_points": r_compiled.n_points,
+            "newton_iterations": r_compiled.newton_iterations,
+        })
+
         # Identical trajectory within solver tolerance.
         assert r_compiled.n_points == r_legacy.n_points
         span = float(r_legacy.outputs.max() - r_legacy.outputs.min()) or 1.0
@@ -80,6 +90,13 @@ class TestSparseLadderSpeedup:
         with capsys.disabled():
             print(f"[rc ladder n={system.n_unknowns}] legacy {t_legacy * 1e3:.1f} ms, "
                   f"sparse {t_compiled * 1e3:.1f} ms -> {speedup:.2f}x")
+
+        record_benchmark("BENCH_engine.json", "rc_ladder_sparse", {
+            "n_unknowns": system.n_unknowns,
+            "legacy_ms": t_legacy * 1e3,
+            "sparse_ms": t_compiled * 1e3,
+            "speedup": speedup,
+        })
 
         np.testing.assert_allclose(r_compiled.outputs, r_legacy.outputs,
                                    rtol=1e-7, atol=1e-9)

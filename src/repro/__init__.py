@@ -16,12 +16,15 @@ The package is organised bottom-up:
   high-speed output buffer used in the paper's evaluation,
 * :mod:`repro.sweep` — batched scenario sweeps (many stimuli / parameter
   corners in one call) feeding trajectory families into the TFT extraction,
+* :mod:`repro.runtime` — compiled model runtime: batch serving of extracted
+  models (recurrence compilation, registry persistence, sim-vs-model
+  validation),
 * :mod:`repro.analysis` — error metrics, timing and report helpers.
 """
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from .analysis import compare_surfaces, time_domain_rmse
 from .baselines import extract_caffeine_model
@@ -40,6 +43,12 @@ from .rvf import (
     extract_rvf_model,
     simulate_hammerstein,
 )
+from .runtime import (
+    CompiledModel,
+    ModelRegistry,
+    compile_model,
+    validate_model,
+)
 from .sweep import Scenario, SweepOptions, run_sweep, waveform_sweep
 from .tft import SnapshotTrajectory, StateEstimator, TFTDataset, extract_tft
 
@@ -56,6 +65,8 @@ __all__ = [
     "Scenario", "SweepOptions", "run_sweep", "waveform_sweep",
     # RVF core
     "extract_rvf_model", "RVFOptions", "HammersteinModel", "simulate_hammerstein",
+    # compiled runtime
+    "compile_model", "CompiledModel", "ModelRegistry", "validate_model",
     # baseline + analysis
     "extract_caffeine_model", "compare_surfaces", "time_domain_rmse",
 ]

@@ -1,7 +1,9 @@
 """Error metrics, speed-up measurement and report tables."""
 
 from .errors import (
+    BatchErrorReport,
     SurfaceErrorReport,
+    batched_waveform_errors,
     compare_surfaces,
     db,
     gain_error_db,
@@ -17,6 +19,8 @@ __all__ = [
     "phase_error_deg",
     "surface_rmse_db",
     "time_domain_rmse",
+    "BatchErrorReport",
+    "batched_waveform_errors",
     "compare_surfaces",
     "SurfaceErrorReport",
     "ComparisonTable",

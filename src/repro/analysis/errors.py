@@ -24,6 +24,8 @@ __all__ = [
     "phase_error_deg",
     "surface_rmse_db",
     "time_domain_rmse",
+    "BatchErrorReport",
+    "batched_waveform_errors",
     "SurfaceErrorReport",
     "compare_surfaces",
 ]
@@ -64,6 +66,66 @@ def time_domain_rmse(reference: np.ndarray, model: np.ndarray) -> float:
     if reference.shape != model.shape:
         raise ValueError("waveforms must have the same length")
     return float(np.sqrt(np.mean((reference - model) ** 2)))
+
+
+@dataclass
+class BatchErrorReport:
+    """Per-waveform error metrics of a batch of model outputs.
+
+    Produced by :func:`batched_waveform_errors` for ``(n_waveforms, n_steps)``
+    output stacks — the shape the compiled runtime
+    (:mod:`repro.runtime`) serves — with one row of metrics per waveform.
+    ``relative_rmse`` normalises each row's RMSE by the RMS of its reference
+    waveform, which is the figure compared against the extraction's
+    ``error_bound`` by the validation harness.
+    """
+
+    rmse: np.ndarray               # (B,) absolute RMSE per waveform
+    relative_rmse: np.ndarray      # (B,) RMSE / RMS(reference)
+    max_abs_error: np.ndarray      # (B,) worst-sample deviation per waveform
+
+    @property
+    def n_waveforms(self) -> int:
+        return int(self.rmse.size)
+
+    @property
+    def worst_index(self) -> int:
+        """Index of the waveform with the largest relative RMSE."""
+        return int(np.argmax(self.relative_rmse))
+
+    def max_relative_rmse(self) -> float:
+        return float(np.max(self.relative_rmse))
+
+    def summary(self) -> str:
+        return (f"{self.n_waveforms} waveform(s): "
+                f"max relative RMSE {self.max_relative_rmse():.2e} "
+                f"(waveform {self.worst_index}), "
+                f"max abs error {float(np.max(self.max_abs_error)):.3e}")
+
+
+def batched_waveform_errors(reference: np.ndarray,
+                            model: np.ndarray) -> BatchErrorReport:
+    """Row-wise error metrics for stacked waveforms, shape ``(B, K)``.
+
+    1-D inputs are treated as a batch of one.  Rows whose reference is
+    identically zero fall back to an absolute normalisation (relative RMSE
+    equals the plain RMSE) instead of dividing by zero.
+    """
+    reference = np.atleast_2d(np.asarray(reference, dtype=float))
+    model = np.atleast_2d(np.asarray(model, dtype=float))
+    if reference.shape != model.shape:
+        raise ValueError(
+            f"waveform batches must have the same shape; got {model.shape} "
+            f"vs reference {reference.shape}")
+    deviation = model - reference
+    rmse = np.sqrt(np.mean(deviation ** 2, axis=1))
+    scale = np.sqrt(np.mean(reference ** 2, axis=1))
+    relative = rmse / np.where(scale > 0.0, scale, 1.0)
+    return BatchErrorReport(
+        rmse=rmse,
+        relative_rmse=relative,
+        max_abs_error=np.max(np.abs(deviation), axis=1),
+    )
 
 
 @dataclass

@@ -13,10 +13,11 @@ wall time.  :class:`CompiledMNA` removes that cost with three ideas:
    matrix and their current/charge contribution the affine map
    ``i_lin(v) = i(0) + G_lin v``.
 
-2. **Square-law MOSFETs are evaluated vectorised.**  All standard MOSFET
-   instances of a circuit are grouped and their drain currents, ``gm`` and
-   ``gds`` computed with NumPy array math in one pass, then scattered into
-   the Jacobian through precomputed index arrays.
+2. **Square-law MOSFETs and Shockley diodes are evaluated vectorised.**
+   All standard MOSFET (diode) instances of a circuit are grouped and their
+   drain currents, ``gm`` and ``gds`` (junction currents and conductances)
+   computed with NumPy array math in one pass, then scattered into the
+   Jacobian through precomputed index arrays.
 
 3. **One shared sparsity pattern.**  In sparse mode every matrix (``G``,
    ``C`` and any combination ``G + a C``) lives on a single CSC pattern that
@@ -47,6 +48,7 @@ import scipy.sparse as _sp
 
 from ..exceptions import CircuitError
 from .devices import Device
+from .devices.diode import Diode
 from .devices.mosfet import MOSFET
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -214,6 +216,75 @@ class _MOSFETGroup:
         np.add.at(i_ext, self._s, -current)
 
 
+def _vectorizable_diode(device: Device) -> bool:
+    """Standard Shockley diodes whose static stamps we can batch."""
+    return (isinstance(device, Diode)
+            and type(device).stamp_static is Diode.stamp_static
+            and type(device).current_and_conductance is Diode.current_and_conductance)
+
+
+class _DiodeGroup:
+    """Vectorised static evaluation of a batch of Shockley diodes.
+
+    Reproduces :meth:`Diode.current_and_conductance` (exponential region,
+    linearised extrapolation above ``v_crit`` and the tiny parallel
+    conductance) with array math, exactly as :class:`_MOSFETGroup` does for
+    the square-law MOSFET.  The nonlinear *dynamic* stamps (junction/
+    diffusion charge) stay on the generic per-device path — they are absent
+    for many diodes and far off the static Newton hot path.
+    """
+
+    #: Jacobian stamp table: (row key, col key, value row in the stacked
+    #: ``(2, m)`` value matrix) — +g on the diagonal slots, -g off-diagonal.
+    _STAMPS = (("p", "p", 0), ("n", "n", 0), ("p", "n", 1), ("n", "p", 1))
+
+    def __init__(self, devices: Sequence[Diode], n: int) -> None:
+        self.devices = tuple(devices)
+        self.n = n
+        self._pos = np.asarray([d.pos if d.pos >= 0 else n for d in devices],
+                               dtype=np.intp)
+        self._neg = np.asarray([d.neg if d.neg >= 0 else n for d in devices],
+                               dtype=np.intp)
+        self._i_s = np.asarray([d.saturation_current for d in devices])
+        self._vt = np.asarray([d._vt for d in devices])
+        self._v_crit = np.asarray([d._v_crit for d in devices])
+        exp_crit = np.exp(self._v_crit / self._vt) if devices else np.zeros(0)
+        self._g_crit = self._i_s * exp_crit / self._vt
+        self._i_crit = self._i_s * (exp_crit - 1.0)
+
+    # ------------------------------------------------------------- structure
+    def jacobian_entries(self) -> list[tuple[int, int, int, int]]:
+        """Non-ground Jacobian stamp slots as ``(row, col, device, kind)``."""
+        entries = []
+        for k, dev in enumerate(self.devices):
+            nodes = {"p": dev.pos, "n": dev.neg}
+            for row_key, col_key, kind in self._STAMPS:
+                row, col = nodes[row_key], nodes[col_key]
+                if row >= 0 and col >= 0:
+                    entries.append((row, col, k, kind))
+        return entries
+
+    # ------------------------------------------------------------ evaluation
+    def currents_and_conductances(self, v_ext: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Diode currents and the stacked ``(2, m)`` Jacobian values."""
+        vd = v_ext[self._pos] - v_ext[self._neg]
+        expv = np.exp(np.minimum(vd / self._vt, 700.0))
+        below = vd <= self._v_crit
+        current = np.where(below, self._i_s * (expv - 1.0),
+                           self._i_crit + self._g_crit * (vd - self._v_crit))
+        conductance = np.where(below, self._i_s * expv / self._vt, self._g_crit)
+        # Same regularisation as the scalar model: a tiny parallel conductance
+        # keeps strongly reverse-biased diodes off an exactly singular Jacobian.
+        conductance = conductance + 1e-12
+        current = current + 1e-12 * vd
+        values = np.stack((conductance, -conductance))
+        return current, values
+
+    def scatter_currents(self, i_ext: np.ndarray, current: np.ndarray) -> None:
+        np.add.at(i_ext, self._pos, current)
+        np.add.at(i_ext, self._neg, -current)
+
+
 class CompiledMNA:
     """Pattern-cached evaluator of one :class:`MNASystem`.
 
@@ -239,7 +310,10 @@ class CompiledMNA:
         nl_static = [d for d in devices if d.is_nonlinear_static()]
         self._mosfets = _MOSFETGroup([d for d in nl_static if _vectorizable_mosfet(d)],
                                      self.n_unknowns)
-        self._nl_static = [d for d in nl_static if not _vectorizable_mosfet(d)]
+        self._diodes = _DiodeGroup([d for d in nl_static if _vectorizable_diode(d)],
+                                   self.n_unknowns)
+        self._nl_static = [d for d in nl_static
+                           if not (_vectorizable_mosfet(d) or _vectorizable_diode(d))]
         self._lin_dynamic = [d for d in devices if not d.is_nonlinear_dynamic()]
         self._nl_dynamic = [d for d in devices if d.is_nonlinear_dynamic()]
 
@@ -273,10 +347,18 @@ class CompiledMNA:
         self._mos_dev = np.asarray([e[2] for e in mosfet_entries], dtype=np.intp)
         self._mos_kind = np.asarray([e[3] for e in mosfet_entries], dtype=np.intp)
 
+        diode_entries = self._diodes.jacobian_entries()
+        dio_rows = np.asarray([e[0] for e in diode_entries], dtype=np.intp)
+        dio_cols = np.asarray([e[1] for e in diode_entries], dtype=np.intp)
+        self._dio_dev = np.asarray([e[2] for e in diode_entries], dtype=np.intp)
+        self._dio_kind = np.asarray([e[3] for e in diode_entries], dtype=np.intp)
+
         if self.is_sparse:
             diag = np.arange(n, dtype=np.intp)
-            all_rows = np.concatenate([ls_rows, ld_rows, ns_rows, nd_rows, mos_rows, diag])
-            all_cols = np.concatenate([ls_cols, ld_cols, ns_cols, nd_cols, mos_cols, diag])
+            all_rows = np.concatenate([ls_rows, ld_rows, ns_rows, nd_rows, mos_rows,
+                                       dio_rows, diag])
+            all_cols = np.concatenate([ls_cols, ld_cols, ns_cols, nd_cols, mos_cols,
+                                       dio_cols, diag])
             pattern = _sp.csc_matrix(
                 (np.ones(all_rows.size), (all_rows, all_cols)), shape=(n, n))
             pattern.sum_duplicates()
@@ -299,6 +381,7 @@ class CompiledMNA:
             self._ns_pos = positions(ns_rows, ns_cols)
             self._nd_pos = positions(nd_rows, nd_cols)
             self._mos_pos = positions(mos_rows, mos_cols)
+            self._dio_pos = positions(dio_rows, dio_cols)
             self._g_base = np.zeros(self.nnz)
             np.add.at(self._g_base, positions(ls_rows, ls_cols), ls_vals)
             self._c_base = np.zeros(self.nnz)
@@ -315,8 +398,10 @@ class CompiledMNA:
             self._g_lin = self._g_base
             self._c_lin = self._c_base
             self._mos_pos = mos_rows * n + mos_cols  # flat indices into raveled G
+            self._dio_pos = dio_rows * n + dio_cols
 
-        self._static_has_nl = bool(self._nl_static) or bool(self._mosfets.devices)
+        self._static_has_nl = (bool(self._nl_static) or bool(self._mosfets.devices)
+                               or bool(self._diodes.devices))
         self._dynamic_has_nl = bool(self._nl_dynamic)
 
     def _verify(self) -> None:
@@ -360,6 +445,12 @@ class CompiledMNA:
             current, values = self._mosfets.currents_and_conductances(v_ext)
             self._mosfets.scatter_currents(i_ext, current)
             np.add.at(flat, self._mos_pos, values[self._mos_kind, self._mos_dev])
+
+        if self._diodes.devices:
+            v_ext = np.append(v, 0.0)
+            current, values = self._diodes.currents_and_conductances(v_ext)
+            self._diodes.scatter_currents(i_ext, current)
+            np.add.at(flat, self._dio_pos, values[self._dio_kind, self._dio_dev])
 
         if self._nl_static:
             if self.is_sparse:

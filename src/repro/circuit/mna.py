@@ -15,6 +15,8 @@ Transfer Function Trajectory extraction consumes.
 
 from __future__ import annotations
 
+import os as _os
+from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -27,6 +29,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
     from .netlist import Circuit
 
 __all__ = ["MNASystem"]
+
+#: Thread cap of the sparse transfer-function sweep: per-frequency SuperLU
+#: factorisations are independent, but beyond a handful of threads the
+#: shared-memory bandwidth of the triangular solves saturates.
+_MAX_TRANSFER_THREADS = 8
 
 
 class MNASystem:
@@ -202,8 +209,11 @@ class MNASystem:
 
         In ``"dense"``/small ``"auto"`` mode the whole frequency sweep is one
         batched LAPACK call; in sparse mode each frequency factorises
-        ``G + s C`` once and solves all input columns together.  Pass
-        ``assembly="legacy"`` for the original per-frequency dense loop.
+        ``G + s C`` once and solves all input columns together, and the
+        per-frequency factorisations — which are independent of each other —
+        are fanned across a thread pool (SuperLU releases the GIL inside the
+        numerical factorisation).  Pass ``assembly="legacy"`` for the
+        original per-frequency dense loop.
 
         A singular ``G + s C`` raises :class:`~repro.exceptions.
         SingularMatrixError` from every compiled mode (dense and sparse
@@ -233,9 +243,23 @@ class MNASystem:
             if gmin:
                 engine.add_diag(g_data, gmin, self.n_unknowns)
             b_cols = self.input_matrix.astype(complex)
-            for idx, s in enumerate(s_values):
-                matrix = engine.materialize(g_data + s * c_op)
-                result[idx] = self.output_matrix.T @ solve_linear(matrix, b_cols)
+            d_mat = self.output_matrix.T
+
+            def solve_one(idx: int) -> None:
+                matrix = engine.materialize(g_data + s_values[idx] * c_op)
+                result[idx] = d_mat @ solve_linear(matrix, b_cols)
+
+            n_freq = s_values.size
+            workers = min(n_freq, _os.cpu_count() or 1, _MAX_TRANSFER_THREADS)
+            if workers < 2 or n_freq < 4:
+                for idx in range(n_freq):
+                    solve_one(idx)
+            else:
+                # Each thread writes a disjoint result slice, so the output
+                # is deterministic regardless of completion order; list()
+                # drains the map and re-raises the first worker exception.
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    list(pool.map(solve_one, range(n_freq)))
             return result
 
         from ..exceptions import SingularMatrixError

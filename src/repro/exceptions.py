@@ -58,3 +58,12 @@ class FittingError(ReproError):
 
 class ModelError(ReproError):
     """Raised for inconsistent extracted models (e.g. unstable poles)."""
+
+
+class RegistryError(ReproError):
+    """Raised for corrupt or inconsistent model-registry entries.
+
+    Covers truncated/unreadable array archives, metadata whose recorded
+    content hash no longer matches the stored arrays, and lookups of keys
+    that are not present in the registry directory.
+    """

@@ -1,0 +1,184 @@
+"""Persistent, content-hash-keyed storage of compiled models.
+
+A sweep extracted and compiled in one process becomes servable from any other
+process: the registry writes each :class:`~repro.runtime.compiled.
+CompiledModel` as a pair of files under one directory,
+
+* ``<key>.npz`` — the array payload (recurrence coefficients, static tables),
+* ``<key>.json`` — metadata: the scalar payload, the recorded extraction
+  metadata and provenance (the :meth:`Scenario.recipe
+  <repro.sweep.scenarios.Scenario.recipe>` records of the training sweep,
+  extraction options, error bound), plus the content hash for integrity
+  checking.
+
+``key`` is the SHA-256 content hash of the canonical model payload (array
+bytes + scalars), so identical models deduplicate naturally, keys are stable
+across processes and platforms with identical float semantics, and any
+corruption — truncated archives, tampered metadata, bit rot — is detected at
+load time and raised as :class:`~repro.exceptions.RegistryError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import RegistryError
+from .compiled import FORMAT, CompiledModel
+
+__all__ = ["ModelRegistry", "content_hash"]
+
+
+def content_hash(model: CompiledModel) -> str:
+    """SHA-256 over the canonical payload of a compiled model.
+
+    The hash covers the array fields (name, dtype, shape and raw bytes in
+    canonical field order) and the scalar payload; it deliberately excludes
+    free-form metadata/provenance, so re-registering the same model trained
+    by a differently-described sweep lands on the same key.
+    """
+    digest = hashlib.sha256()
+    for name, array in model.arrays().items():
+        array = np.ascontiguousarray(array)
+        digest.update(name.encode())
+        digest.update(str(array.dtype).encode())
+        digest.update(repr(array.shape).encode())
+        digest.update(array.tobytes())
+    digest.update(json.dumps(model.scalars(), sort_keys=True).encode())
+    return digest.hexdigest()
+
+
+class ModelRegistry:
+    """Directory-backed store of compiled models.
+
+    Parameters
+    ----------
+    root:
+        Registry directory; created on first save if missing.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ paths
+    def _npz_path(self, key: str) -> Path:
+        return self.root / f"{key}.npz"
+
+    def _json_path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # ------------------------------------------------------------------- save
+    def save(self, model: CompiledModel, provenance: dict | None = None) -> str:
+        """Store a compiled model; returns its content-hash key.
+
+        Saving an already-registered model leaves the array archive untouched
+        and merges the given ``provenance`` keys into the existing metadata
+        record (a model retrained from an identical recipe hashes to the same
+        key, and earlier traceability is never lost).
+        """
+        key = content_hash(model)
+        self.root.mkdir(parents=True, exist_ok=True)
+        existing_provenance: dict = {}
+        if key in self:
+            try:
+                existing_provenance = self.provenance(key)
+            except (RegistryError, json.JSONDecodeError):
+                existing_provenance = {}
+        else:
+            with open(self._npz_path(key), "wb") as handle:
+                np.savez(handle, **model.arrays())
+        record = {
+            "content_hash": key,
+            **model.scalars(),
+            "metadata": model.metadata,
+            "provenance": {**existing_provenance, **(provenance or {})},
+        }
+        self._json_path(key).write_text(json.dumps(record, indent=2,
+                                                   sort_keys=True, default=repr))
+        return key
+
+    # ------------------------------------------------------------------- load
+    def load(self, key: str, verify: bool = True) -> CompiledModel:
+        """Load a compiled model by key.
+
+        With ``verify`` (the default) the arrays are re-hashed and compared
+        against both the key and the recorded metadata hash; any mismatch —
+        truncated ``npz``, swapped files, edited metadata — raises
+        :class:`~repro.exceptions.RegistryError`.
+        """
+        npz_path, json_path = self._npz_path(key), self._json_path(key)
+        if not npz_path.exists() or not json_path.exists():
+            missing = [label for label, path in (("arrays", npz_path),
+                                                 ("metadata", json_path))
+                       if not path.exists()]
+            raise RegistryError(f"no registry entry {key!r} under {self.root} "
+                                f"(missing {' and '.join(missing)})")
+
+        try:
+            record = json.loads(json_path.read_text())
+        except (json.JSONDecodeError, OSError) as exc:
+            raise RegistryError(f"unreadable registry metadata {json_path}: {exc}") from exc
+        if record.get("format") != FORMAT:
+            raise RegistryError(
+                f"registry entry {key!r} has unsupported format "
+                f"{record.get('format')!r} (expected {FORMAT!r})")
+
+        try:
+            with np.load(npz_path) as archive:
+                arrays = {name: archive[name] for name in CompiledModel._ARRAY_FIELDS}
+        except Exception as exc:  # zipfile/OSError/KeyError: all mean "corrupt"
+            raise RegistryError(
+                f"corrupt registry archive {npz_path}: {exc}") from exc
+
+        model = CompiledModel(
+            dt=float(record["dt"]), u_min=float(record["u_min"]),
+            u_max=float(record["u_max"]),
+            input_name=record.get("input_name", "u"),
+            output_name=record.get("output_name", "y"),
+            metadata=record.get("metadata", {}),
+            **arrays,
+        )
+        if verify:
+            actual = content_hash(model)
+            recorded = record.get("content_hash")
+            if actual != key or recorded != key:
+                raise RegistryError(
+                    f"registry entry {key!r} failed integrity verification: "
+                    f"arrays hash to {actual[:12]}..., metadata records "
+                    f"{str(recorded)[:12]}...")
+        return model
+
+    def provenance(self, key: str) -> dict:
+        """The provenance record stored alongside a model."""
+        json_path = self._json_path(key)
+        if not json_path.exists():
+            raise RegistryError(f"no registry entry {key!r} under {self.root}")
+        return json.loads(json_path.read_text()).get("provenance", {})
+
+    # ------------------------------------------------------------------ admin
+    def keys(self) -> list[str]:
+        """Keys of all complete entries (metadata + arrays present)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json")
+                      if self._npz_path(p.stem).exists())
+
+    def __contains__(self, key: str) -> bool:
+        return self._npz_path(key).exists() and self._json_path(key).exists()
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def remove(self, key: str) -> None:
+        """Delete an entry (both files); missing entries raise."""
+        if key not in self:
+            raise RegistryError(f"no registry entry {key!r} under {self.root}")
+        self._npz_path(key).unlink()
+        self._json_path(key).unlink()
+
+    def describe(self) -> str:
+        keys = self.keys()
+        return f"model registry at {self.root}: {len(keys)} model(s)"

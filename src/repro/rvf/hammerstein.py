@@ -73,6 +73,44 @@ class HammersteinBranch:
         y_dc = -v_dc / self.pole
         return float(2.0 * y_dc.real if self.is_complex_pair else y_dc.real)
 
+    def recurrence(self, dt: float) -> tuple[complex, complex, complex]:
+        """Discrete-time recurrence coefficients at a fixed sample interval.
+
+        Returns ``(E, W0, W1)`` such that the branch filter advances exactly
+        (for piecewise-linear branch input ``v``) as
+
+        .. math:: y_{n+1} = E\\,y_n + W_0\\,v_n + W_1\\,(v_{n+1} - v_n)
+
+        This is the recurrence form consumed by the compiled runtime
+        (:mod:`repro.runtime`), identical to the update used step-by-step in
+        :func:`repro.rvf.timedomain.simulate_hammerstein`.
+        """
+        from .timedomain import phi1, phi2
+
+        if dt <= 0.0:
+            raise ModelError("recurrence sample interval dt must be positive")
+        z = self.pole * dt
+        return complex(np.exp(z)), complex(dt * phi1(z)), complex(dt * phi2(z))
+
+    # ----------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-able description of the branch (registry serialization hook)."""
+        return {
+            "pole": [self.pole.real, self.pole.imag],
+            "residue_function": _function_to_dict(self.residue_function),
+            "static_function": _function_to_dict(self.static_function),
+            "is_complex_pair": bool(self.is_complex_pair),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HammersteinBranch":
+        return cls(
+            pole=complex(*data["pole"]),
+            residue_function=_function_from_dict(data["residue_function"]),
+            static_function=_function_from_dict(data["static_function"]),
+            is_complex_pair=bool(data["is_complex_pair"]),
+        )
+
 
 @dataclass
 class ModelMetadata:
@@ -188,6 +226,70 @@ class HammersteinModel:
 
         return simulate_hammerstein(self, times, inputs).outputs
 
+    def compile(self, dt: float, input_range: tuple[float, float],
+                table_size: int | None = None):
+        """Compile the model into a batch-evaluable discrete-time kernel.
+
+        Delegates to :func:`repro.runtime.compile_model` (whose default
+        ``table_size`` applies when none is given); see there for the
+        semantics of the sampled static tables and the recurrence matrices.
+        """
+        from ..runtime import compile_model
+        from ..runtime.compiled import DEFAULT_TABLE_SIZE
+
+        return compile_model(self, dt=dt, input_range=input_range,
+                             table_size=DEFAULT_TABLE_SIZE
+                             if table_size is None else table_size)
+
+    # ----------------------------------------------------------- serialization
+    def to_dict(self) -> dict:
+        """JSON-able description of the full analytical model.
+
+        Only models whose residue/static functions are the analytical
+        partial-fraction types produced by the 1-D RVF extraction are
+        serialisable; callables and nested expansions raise
+        :class:`~repro.exceptions.ModelError`.
+        """
+        from dataclasses import asdict
+
+        metadata = asdict(self.metadata)
+        for key, value in list(metadata.items()):
+            if isinstance(value, float) and np.isnan(value):
+                metadata[key] = None
+        return {
+            "format": "hammerstein-model-v1",
+            "branches": [branch.to_dict() for branch in self.branches],
+            "gain_function": _function_to_dict(self.gain_function),
+            "static_function": _function_to_dict(self.static_function),
+            "state_estimator": {"delays": list(self.state_estimator.delays),
+                                "input_index": self.state_estimator.input_index},
+            "dc_input": self.dc_input,
+            "dc_output": self.dc_output,
+            "input_name": self.input_name,
+            "output_name": self.output_name,
+            "metadata": metadata,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HammersteinModel":
+        if data.get("format") != "hammerstein-model-v1":
+            raise ModelError(f"unsupported model format {data.get('format')!r}")
+        metadata_fields = {k: (np.nan if v is None else v)
+                           for k, v in data["metadata"].items()}
+        estimator = data["state_estimator"]
+        return cls(
+            branches=[HammersteinBranch.from_dict(b) for b in data["branches"]],
+            gain_function=_function_from_dict(data["gain_function"]),
+            static_function=_function_from_dict(data["static_function"]),
+            state_estimator=StateEstimator(delays=tuple(estimator["delays"]),
+                                           input_index=int(estimator["input_index"])),
+            dc_input=data["dc_input"],
+            dc_output=data["dc_output"],
+            input_name=data["input_name"],
+            output_name=data["output_name"],
+            metadata=ModelMetadata(**metadata_fields),
+        )
+
     # ---------------------------------------------------------------- export
     def to_equations(self, precision: int = 6) -> str:
         """Analytical differential equations as readable text."""
@@ -205,6 +307,25 @@ class HammersteinModel:
 # --------------------------------------------------------------------------- #
 # helpers
 # --------------------------------------------------------------------------- #
+
+def _function_to_dict(function) -> dict:
+    """Serialise an analytical state function; reject opaque callables."""
+    if isinstance(function, (PartialFractionFunction, IntegratedPartialFraction)):
+        return function.to_dict()
+    raise ModelError(
+        f"cannot serialise state function of type {type(function).__name__}; "
+        "only the analytical partial-fraction functions of the 1-D RVF "
+        "extraction round-trip through the registry")
+
+
+def _function_from_dict(data: dict):
+    kind = data.get("type")
+    if kind == "partial_fraction":
+        return PartialFractionFunction.from_dict(data)
+    if kind == "integrated_partial_fraction":
+        return IntegratedPartialFraction.from_dict(data)
+    raise ModelError(f"unknown state-function description {kind!r}")
+
 
 def _evaluate_state_function(function, states: np.ndarray) -> np.ndarray:
     """Evaluate a residue/static function on a batch of states -> (K,) complex."""

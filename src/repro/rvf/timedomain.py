@@ -26,7 +26,7 @@ import numpy as np
 
 from ..exceptions import ModelError
 
-__all__ = ["ModelSimulationResult", "simulate_hammerstein"]
+__all__ = ["ModelSimulationResult", "simulate_hammerstein", "phi1", "phi2"]
 
 
 @dataclass
@@ -45,8 +45,13 @@ class ModelSimulationResult:
         return int(self.times.size)
 
 
-def _phi1(z: np.ndarray | complex) -> np.ndarray | complex:
-    """(exp(z) - 1) / z with a series fallback near z = 0."""
+def phi1(z: np.ndarray | complex) -> np.ndarray | complex:
+    """(exp(z) - 1) / z with a series fallback near z = 0.
+
+    Public because the compiled runtime (:mod:`repro.runtime`) folds the same
+    exponential-integrator weights into its recurrence matrices; the two
+    evaluation paths must agree to machine precision.
+    """
     z = np.asarray(z, dtype=complex)
     small = np.abs(z) < 1e-6
     safe = np.where(small, 1.0, z)
@@ -54,7 +59,7 @@ def _phi1(z: np.ndarray | complex) -> np.ndarray | complex:
     return result if result.ndim else complex(result)
 
 
-def _phi2(z: np.ndarray | complex) -> np.ndarray | complex:
+def phi2(z: np.ndarray | complex) -> np.ndarray | complex:
     """(exp(z) - 1 - z) / z**2 with a series fallback near z = 0."""
     z = np.asarray(z, dtype=complex)
     small = np.abs(z) < 1e-4
@@ -62,6 +67,11 @@ def _phi2(z: np.ndarray | complex) -> np.ndarray | complex:
     result = np.where(small, 0.5 + z / 6.0 + z * z / 24.0,
                       (np.exp(safe) - 1.0 - safe) / (safe * safe))
     return result if result.ndim else complex(result)
+
+
+#: Backwards-compatible aliases (the weights predate the public names).
+_phi1 = phi1
+_phi2 = phi2
 
 
 def simulate_hammerstein(model, times: np.ndarray, inputs: np.ndarray) -> ModelSimulationResult:

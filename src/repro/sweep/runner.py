@@ -158,6 +158,16 @@ class SweepResult:
         return extract_tft(self.combined_trajectory(), frequencies,
                            max_snapshots=max_snapshots, gmin=gmin)
 
+    # -------------------------------------------------------------- provenance
+    def provenance(self) -> dict:
+        """JSON-able record of what this sweep ran (for registry entries)."""
+        return {
+            "scenarios": [r.scenario.recipe() for r in self.results],
+            "n_workers": self.n_workers,
+            "wall_time": self.wall_time,
+            "failed": [r.name for r in self.failed],
+        }
+
     # ------------------------------------------------------------- diagnostics
     def describe(self) -> str:
         ok = sum(1 for r in self.results if r.ok)
@@ -187,6 +197,20 @@ def run_sweep(scenarios: Iterable[Scenario],
         results = [_run_scenario(s, opts.capture_snapshots) for s in scenario_list]
     else:
         n_workers = min(n_workers, len(scenario_list))
+        # Fail fast with a named scenario instead of the executor's opaque
+        # PicklingError mid-map (lambdas/closures as builders are the usual
+        # culprit; builders must be module-level callables).
+        import pickle
+
+        for scenario in scenario_list:
+            try:
+                pickle.dumps(scenario)
+            except Exception as exc:
+                raise ReproError(
+                    f"scenario {scenario.name!r} is not picklable and cannot be "
+                    f"shipped to a worker process ({exc}); use module-level "
+                    "builder callables and waveforms, or run with n_workers=1"
+                ) from exc
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             results = list(pool.map(
                 _run_scenario, scenario_list,

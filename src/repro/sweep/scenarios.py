@@ -72,6 +72,49 @@ class Scenario:
         return replace(self, transient=replace(copy.deepcopy(self.transient),
                                                **changes))
 
+    def recipe(self) -> dict[str, Any]:
+        """JSON-able provenance record of this scenario.
+
+        The record names the builder (module-qualified), its keyword
+        arguments, the stimulus and the solver settings — enough for a human
+        (or a registry audit) to re-create the scenario, without trying to be
+        an executable serialisation.  Threaded into
+        :class:`repro.runtime.ModelRegistry` entries so a served model can be
+        traced back to the sweep that trained it.
+        """
+        return {
+            "name": self.name,
+            "builder": f"{getattr(self.builder, '__module__', '?')}."
+                       f"{getattr(self.builder, '__qualname__', repr(self.builder))}",
+            "builder_kwargs": {k: _jsonable(v) for k, v in self.builder_kwargs.items()},
+            "waveform": _jsonable(self.waveform),
+            "transient": {
+                "t_start": self.transient.t_start,
+                "t_stop": self.transient.t_stop,
+                "dt": self.transient.dt,
+                "method": self.transient.method,
+                "assembly": self.transient.assembly,
+            },
+            "max_snapshots": self.max_snapshots,
+        }
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of scenario ingredients to JSON-able values."""
+    import dataclasses
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"class": type(value).__name__,
+                **{f.name: _jsonable(getattr(value, f.name))
+                   for f in dataclasses.fields(value)}}
+    return repr(value)
+
 
 def waveform_sweep(builder: Callable[..., Circuit],
                    waveforms: Mapping[str, Waveform] | Sequence[Waveform],

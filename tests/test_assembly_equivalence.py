@@ -170,6 +170,60 @@ class TestBatchedTransferChunking:
         np.testing.assert_allclose(tiny_chunks, full, rtol=0, atol=0)
 
 
+class TestDiodeGroupEquivalence:
+    """The vectorised diode group must be an exact drop-in for the scalar path."""
+
+    @pytest.fixture(scope="class")
+    def limiter_system(self):
+        from repro.circuits import build_diode_limiter
+        return build_diode_limiter(input_waveform=Sine(0.0, 0.6, 2e6)).build()
+
+    def test_diodes_grouped(self, limiter_system):
+        engine = CompiledMNA(limiter_system, sparse=False)
+        assert len(engine._diodes.devices) == 2
+        assert not engine._nl_static
+
+    @pytest.mark.parametrize("sparse", [False, True])
+    def test_matrices_match_across_bias(self, limiter_system, sparse):
+        engine = CompiledMNA(limiter_system, sparse=sparse)
+        rng = np.random.default_rng(11)
+        for _ in range(5):
+            # Spans reverse bias, the exponential region and beyond v_crit.
+            v = rng.uniform(-1.5, 1.5, limiter_system.n_unknowns)
+            i_ref, g_ref = limiter_system.eval_static(v)
+            i_cmp, g_op = engine.eval_static(v)
+            np.testing.assert_allclose(i_cmp, i_ref, rtol=1e-12, atol=1e-18)
+            np.testing.assert_allclose(engine.to_dense(g_op), g_ref,
+                                       rtol=1e-12, atol=1e-18)
+
+    def test_transient_matches_legacy(self, limiter_system):
+        common = dict(t_stop=2e-7, dt=1e-9)
+        compiled = transient_analysis(limiter_system, TransientOptions(**common))
+        legacy = transient_analysis(limiter_system,
+                                    TransientOptions(assembly="legacy", **common))
+        span = float(legacy.outputs.max() - legacy.outputs.min()) or 1.0
+        np.testing.assert_allclose(compiled.outputs, legacy.outputs,
+                                   rtol=0, atol=5e-5 * span)
+
+
+class TestThreadedSparseTransfer:
+    def test_threaded_sparse_sweep_matches_legacy(self):
+        system = build_rc_ladder(80, input_waveform=Sine(0.5, 0.1, 1e6)).build()
+        v = np.zeros(system.n_unknowns)
+        freqs = frequency_grid(1e3, 1e9, 8)        # enough to engage the pool
+        threaded = system.transfer_function(v, freqs, assembly="sparse")
+        legacy = system.transfer_function(v, freqs, assembly="legacy")
+        np.testing.assert_allclose(threaded, legacy, rtol=1e-8, atol=1e-14)
+
+    def test_few_frequencies_stay_serial_and_match(self):
+        system = build_rc_ladder(80, input_waveform=Sine(0.5, 0.1, 1e6)).build()
+        v = np.zeros(system.n_unknowns)
+        freqs = np.array([1e5, 1e7])
+        threaded = system.transfer_function(v, freqs, assembly="sparse")
+        legacy = system.transfer_function(v, freqs, assembly="legacy")
+        np.testing.assert_allclose(threaded, legacy, rtol=1e-8, atol=1e-14)
+
+
 class TestBufferEquivalence:
     """The paper's buffer: MOSFET-heavy, exercises the vectorised group."""
 

@@ -1,0 +1,344 @@
+"""Tests of the compiled model runtime: compile, batch-serve, registry, validate."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis import batched_waveform_errors
+from repro.circuit import Sine, TransientOptions
+from repro.circuits import build_rc_ladder
+from repro.exceptions import ModelError, RegistryError
+from repro.rvf import RVFOptions, extract_rvf_model, simulate_hammerstein
+from repro.rvf.hammerstein import HammersteinBranch, HammersteinModel
+from repro.rvf.residues import PartialFractionFunction
+from repro.runtime import (
+    CompiledModel,
+    ModelRegistry,
+    compile_model,
+    content_hash,
+    stack_stimuli,
+    validate_model,
+)
+from repro.sweep import run_sweep, waveform_sweep
+from repro.tft.state_estimator import StateEstimator
+
+
+def synthetic_model() -> HammersteinModel:
+    """A small analytic model with one complex pair and one real branch."""
+    def pf(poles, coeffs, const):
+        return PartialFractionFunction(np.asarray(poles, complex),
+                                       np.asarray(coeffs, complex), const)
+
+    gain = pf([-2.0 + 0.5j], [0.3 + 0.1j], 1.2)
+    pair_residue = pf([-1.5 + 0.2j], [0.2 - 0.05j], 0.4 + 0.2j)
+    real_residue = pf([-1.0], [0.15], 0.2)
+    branches = [
+        HammersteinBranch(pole=-3e7 + 1e8j, residue_function=pair_residue,
+                          static_function=pair_residue.antiderivative()
+                          .with_value_at(0.5, 0.0),
+                          is_complex_pair=True),
+        HammersteinBranch(pole=-5e7, residue_function=real_residue,
+                          static_function=real_residue.antiderivative()
+                          .with_value_at(0.5, 0.0),
+                          is_complex_pair=False),
+    ]
+    return HammersteinModel(
+        branches=branches, gain_function=gain,
+        static_function=gain.antiderivative().with_value_at(0.5, 0.3),
+        state_estimator=StateEstimator(), dc_input=0.5, dc_output=0.3)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_model(synthetic_model(), dt=1e-9, input_range=(0.0, 1.0))
+
+
+def make_stimulus(n_steps=300, dt=1e-9):
+    times = dt * np.arange(n_steps)
+    return times, 0.5 + 0.4 * np.sin(2e6 * 2 * np.pi * times * 3) \
+        + 0.05 * np.sin(4e7 * 2 * np.pi * times)
+
+
+class TestCompile:
+    def test_matches_analytical_simulation(self, compiled):
+        model = synthetic_model()
+        times, u = make_stimulus()
+        reference = simulate_hammerstein(model, times, u).outputs
+        served = compiled.evaluate(u)
+        scale = float(np.max(np.abs(reference)))
+        assert np.max(np.abs(served - reference)) < 1e-7 * scale
+
+    def test_shapes_and_metadata(self, compiled):
+        assert compiled.n_branches == 2
+        assert compiled.n_states == 4
+        assert compiled.c_out.tolist() == [2.0, 0.0, 1.0, 0.0]
+        assert compiled.metadata["dc_input"] == 0.5
+        assert compiled.sample_rate == pytest.approx(1e9)
+
+    def test_single_and_batch_rows_agree(self, compiled):
+        _, u = make_stimulus()
+        batch = np.vstack([u, 0.5 * u + 0.25, np.full_like(u, 0.4)])
+        single_rows = [compiled.evaluate(row) for row in batch]
+        outputs = compiled.evaluate(batch)
+        assert outputs.shape == batch.shape
+        for row, single in zip(outputs, single_rows):
+            np.testing.assert_array_equal(row, single)
+
+    def test_chunking_is_bitwise_stable(self, compiled):
+        rng = np.random.default_rng(7)
+        batch = 0.5 + 0.3 * rng.standard_normal((17, 64))
+        full = compiled.evaluate(batch)
+        tiny_chunks = compiled.evaluate(batch, max_chunk_bytes=1)
+        np.testing.assert_array_equal(full, tiny_chunks)
+
+    def test_out_of_range_inputs_clamp_to_table_edges(self, compiled):
+        inside = compiled.evaluate(np.full(32, compiled.u_max))
+        outside = compiled.evaluate(np.full(32, compiled.u_max + 10.0))
+        np.testing.assert_array_equal(inside, outside)
+
+    def test_recurrence_matches_timedomain_weights(self):
+        from repro.rvf.timedomain import phi1, phi2
+        branch = synthetic_model().branches[0]
+        expz, w0, w1 = branch.recurrence(2e-9)
+        z = branch.pole * 2e-9
+        assert expz == pytest.approx(np.exp(z))
+        assert w0 == pytest.approx(2e-9 * phi1(z))
+        assert w1 == pytest.approx(2e-9 * phi2(z))
+
+    def test_invalid_arguments_rejected(self):
+        model = synthetic_model()
+        with pytest.raises(ModelError, match="dt"):
+            compile_model(model, dt=0.0, input_range=(0.0, 1.0))
+        with pytest.raises(ModelError, match="input_range"):
+            compile_model(model, dt=1e-9, input_range=(1.0, 1.0))
+        with pytest.raises(ModelError, match="table_size"):
+            compile_model(model, dt=1e-9, input_range=(0.0, 1.0), table_size=1)
+        delayed = HammersteinModel(
+            branches=model.branches, gain_function=model.gain_function,
+            static_function=model.static_function,
+            state_estimator=StateEstimator(delays=(1e-9,)),
+            dc_input=0.5, dc_output=0.3)
+        with pytest.raises(ModelError, match="one-dimensional"):
+            compile_model(delayed, dt=1e-9, input_range=(0.0, 1.0))
+
+    def test_stack_stimuli_samples_waveforms(self, compiled):
+        times = compiled.time_axis(50)
+        stack = stack_stimuli([Sine(0.5, 0.1, 1e6), Sine(0.5, 0.2, 2e6)], times)
+        assert stack.shape == (2, 50)
+        np.testing.assert_allclose(stack[0], Sine(0.5, 0.1, 1e6).sample(times))
+
+
+class TestModelSerialization:
+    def test_dict_round_trip_reproduces_simulation(self):
+        model = synthetic_model()
+        clone = HammersteinModel.from_dict(model.to_dict())
+        times, u = make_stimulus(120)
+        np.testing.assert_array_equal(simulate_hammerstein(model, times, u).outputs,
+                                      simulate_hammerstein(clone, times, u).outputs)
+
+    def test_dict_is_jsonable(self):
+        json.dumps(synthetic_model().to_dict())
+
+    def test_opaque_functions_rejected(self):
+        model = synthetic_model()
+        model.gain_function = lambda x: np.ones(len(x))
+        with pytest.raises(ModelError, match="serialise"):
+            model.to_dict()
+
+
+class TestRegistry:
+    def test_round_trip_is_bitwise(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path / "models")
+        key = registry.save(compiled, provenance={"origin": "unit-test"})
+        assert key == content_hash(compiled)
+        assert key in registry and len(registry) == 1
+        loaded = registry.load(key)
+        _, u = make_stimulus()
+        batch = np.vstack([u, u[::-1]])
+        np.testing.assert_array_equal(compiled.evaluate(batch),
+                                      loaded.evaluate(batch))
+        assert registry.provenance(key) == {"origin": "unit-test"}
+
+    def test_save_is_idempotent_and_content_addressed(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key1 = registry.save(compiled)
+        key2 = registry.save(compile_model(synthetic_model(), dt=1e-9,
+                                           input_range=(0.0, 1.0)))
+        assert key1 == key2 and len(registry) == 1
+        other = compile_model(synthetic_model(), dt=2e-9, input_range=(0.0, 1.0))
+        assert registry.save(other) != key1 and len(registry) == 2
+
+    def test_resave_merges_provenance_instead_of_dropping_it(self, compiled,
+                                                             tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled, provenance={"sweep": "training-run"})
+        registry.save(compiled)                          # no provenance given
+        assert registry.provenance(key) == {"sweep": "training-run"}
+        registry.save(compiled, provenance={"promoted": True})
+        assert registry.provenance(key) == {"sweep": "training-run",
+                                            "promoted": True}
+        assert registry.load(key).dt == compiled.dt
+
+    def test_missing_key_raises(self, tmp_path):
+        with pytest.raises(RegistryError, match="no registry entry"):
+            ModelRegistry(tmp_path).load("deadbeef")
+
+    def test_truncated_archive_detected(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        npz = tmp_path / f"{key}.npz"
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])
+        with pytest.raises(RegistryError, match="corrupt|integrity"):
+            registry.load(key)
+
+    def test_tampered_metadata_detected(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        meta_path = tmp_path / f"{key}.json"
+        record = json.loads(meta_path.read_text())
+        record["dt"] = record["dt"] * 2.0   # mismatch with hashed arrays
+        meta_path.write_text(json.dumps(record))
+        with pytest.raises(RegistryError, match="integrity"):
+            registry.load(key)
+        # verify=False trusts the files (for forensics, not serving).
+        assert registry.load(key, verify=False).dt == record["dt"]
+
+    def test_unsupported_format_rejected(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        meta_path = tmp_path / f"{key}.json"
+        record = json.loads(meta_path.read_text())
+        record["format"] = "compiled-hammerstein-v999"
+        meta_path.write_text(json.dumps(record))
+        with pytest.raises(RegistryError, match="format"):
+            registry.load(key)
+
+    def test_remove(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        registry.remove(key)
+        assert key not in registry
+        with pytest.raises(RegistryError):
+            registry.remove(key)
+
+    def test_fresh_process_reproduces_identical_outputs(self, compiled, tmp_path):
+        """Acceptance: save here, load in a new interpreter, bitwise match."""
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        _, u = make_stimulus(200)
+        batch = np.vstack([u, 0.3 + 0.2 * np.cos(np.arange(u.size) / 5.0)])
+        expected = compiled.evaluate(batch)
+        np.save(tmp_path / "stimuli.npy", batch)
+
+        src = Path(repro.__file__).resolve().parent.parent
+        script = (
+            "import numpy as np\n"
+            "from repro.runtime import ModelRegistry\n"
+            f"registry = ModelRegistry({str(tmp_path)!r})\n"
+            f"model = registry.load({key!r})\n"
+            f"batch = np.load({str(tmp_path / 'stimuli.npy')!r})\n"
+            f"np.save({str(tmp_path / 'served.npy')!r}, model.evaluate(batch))\n"
+        )
+        subprocess.run([sys.executable, "-c", script], check=True,
+                       env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"})
+        served = np.load(tmp_path / "served.npy")
+        np.testing.assert_array_equal(served, expected)
+
+
+class TestValidationHarness:
+    @pytest.fixture(scope="class")
+    def family(self):
+        transient = TransientOptions(t_stop=1e-6, dt=1e-8)
+        scenarios = waveform_sweep(
+            build_rc_ladder, [Sine(0.5, a, 2e5) for a in (0.1, 0.25, 0.4)],
+            transient=transient, builder_kwargs={"n_sections": 2})
+        sweep = run_sweep(scenarios)
+        dataset = sweep.extract_combined_tft(max_snapshots=40)
+        extraction = extract_rvf_model(dataset, RVFOptions(error_bound=5e-3))
+        lo = float(dataset.state_axis().min())
+        hi = float(dataset.state_axis().max())
+        compiled = compile_model(extraction.model, dt=1e-8,
+                                 input_range=(lo - 0.05, hi + 0.05))
+        return {"scenarios": scenarios, "sweep": sweep,
+                "extraction": extraction, "compiled": compiled}
+
+    def test_error_bound_recorded_at_compile_time(self, family):
+        assert family["compiled"].error_bound == pytest.approx(5e-3)
+
+    def test_family_validates_within_extraction_bound(self, family):
+        """Acceptance: model-vs-sim error within the extraction's bound."""
+        report = validate_model(family["compiled"], family["scenarios"])
+        assert report.n_scenarios == 3
+        assert report.error_bound == pytest.approx(5e-3)
+        assert report.within_bound, report.summary()
+        assert report.max_relative_rmse <= 5e-3
+        assert "PASS" in report.summary()
+        rendered = report.render()
+        assert all(row.name in rendered for row in report.rows)
+
+    def test_precomputed_sweep_reused(self, family):
+        report = validate_model(family["compiled"], family["scenarios"],
+                                sweep_result=family["sweep"])
+        assert report.within_bound
+
+    def test_mismatched_sweep_result_rejected(self, family):
+        with pytest.raises(ModelError, match="exactly these scenarios"):
+            validate_model(family["compiled"], family["scenarios"][:2],
+                           sweep_result=family["sweep"])
+
+    def test_mixed_time_windows_rejected(self, family):
+        scenarios = list(family["scenarios"])
+        scenarios[1] = scenarios[1].with_transient(t_stop=2e-6)
+        with pytest.raises(ModelError, match="time window"):
+            validate_model(family["compiled"], scenarios)
+
+    def test_explicit_bound_overrides_metadata(self, family):
+        report = validate_model(family["compiled"], family["scenarios"],
+                                sweep_result=family["sweep"],
+                                error_bound=1e-12)
+        assert not report.within_bound
+
+
+class TestBatchedErrorMetrics:
+    def test_row_wise_metrics(self):
+        reference = np.array([[1.0, 1.0, 1.0], [0.0, 0.0, 0.0]])
+        model = np.array([[1.1, 1.0, 1.0], [0.5, 0.0, 0.0]])
+        report = batched_waveform_errors(reference, model)
+        assert report.n_waveforms == 2
+        assert report.rmse[0] == pytest.approx(0.1 / np.sqrt(3))
+        # Zero reference row: relative falls back to the absolute RMSE.
+        assert report.relative_rmse[1] == pytest.approx(report.rmse[1])
+        assert report.worst_index == 1
+        assert "max relative RMSE" in report.summary()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            batched_waveform_errors(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestProvenance:
+    def test_scenario_recipe_is_jsonable(self):
+        scenario = waveform_sweep(build_rc_ladder, [Sine(0.5, 0.1, 1e5)],
+                                  builder_kwargs={"n_sections": 2})[0]
+        recipe = scenario.recipe()
+        json.dumps(recipe)
+        assert "build_rc_ladder" in recipe["builder"]
+        assert recipe["builder_kwargs"] == {"n_sections": 2}
+        assert recipe["waveform"]["class"] == "Sine"
+
+    def test_sweep_provenance_threads_into_registry(self, compiled, tmp_path):
+        transient = TransientOptions(t_stop=2e-7, dt=2e-9)
+        scenarios = waveform_sweep(build_rc_ladder, [Sine(0.5, 0.1, 1e6)],
+                                   transient=transient,
+                                   builder_kwargs={"n_sections": 1})
+        sweep = run_sweep(scenarios)
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled, provenance=sweep.provenance())
+        stored = registry.provenance(key)
+        assert [s["name"] for s in stored["scenarios"]] == ["wave0"]
+        assert stored["failed"] == []

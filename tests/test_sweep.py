@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuit import Sine, TransientOptions
-from repro.circuit.waveforms import BitPattern, prbs_bits
+from repro.circuit.waveforms import BitPattern, Waveform, prbs_bits
 from repro.circuits import build_rc_ladder
 from repro.exceptions import ReproError
 from repro.sweep import (
@@ -17,6 +17,18 @@ from repro.sweep import (
 )
 
 FAST = TransientOptions(t_stop=1e-6, dt=1e-8)
+
+
+class ExplodingWaveform(Waveform):
+    """Stimulus that blows up mid-transient (module-level: stays picklable)."""
+
+    def __init__(self, t_burst: float) -> None:
+        self.t_burst = float(t_burst)
+
+    def value(self, t: float) -> float:
+        if t > self.t_burst:
+            raise RuntimeError(f"stimulus exploded at t={t:.3e}")
+        return 0.5
 
 
 def eight_scenarios():
@@ -128,6 +140,56 @@ class TestRunSweep:
         scenario.max_snapshots = 10
         result = run_sweep([scenario])
         assert len(result[0].trajectory) <= 10
+
+
+class TestFailurePaths:
+    """Workers must report failures, not crash the pool (or hang it)."""
+
+    def exploding_scenario(self):
+        return Scenario(name="mid_transient", builder=build_rc_ladder,
+                        builder_kwargs={"n_sections": 2},
+                        waveform=ExplodingWaveform(t_burst=4e-7),
+                        transient=FAST)
+
+    def test_worker_raising_mid_scenario_is_collected(self):
+        good = eight_scenarios()[0]
+        result = run_sweep([good, self.exploding_scenario()],
+                           SweepOptions(raise_on_error=False))
+        assert result[good.name].ok
+        failed = result["mid_transient"]
+        assert not failed.ok and failed.transient is None
+        assert "stimulus exploded" in failed.error
+        assert "mid_transient" in result.provenance()["failed"]
+
+    def test_worker_raising_mid_scenario_raises_with_traceback(self):
+        with pytest.raises(ReproError, match="stimulus exploded"):
+            run_sweep([eight_scenarios()[0], self.exploding_scenario()])
+
+    def test_worker_failure_in_process_pool(self):
+        """The failure report survives the pickle trip back from a worker."""
+        scenarios = [eight_scenarios()[0], self.exploding_scenario(),
+                     eight_scenarios()[1]]
+        scenarios[2] = Scenario(name="also_good", builder=build_rc_ladder,
+                                builder_kwargs={"n_sections": 2},
+                                waveform=Sine(0.5, 0.2, 2e5), transient=FAST)
+        result = run_sweep(scenarios, SweepOptions(n_workers=2,
+                                                   raise_on_error=False))
+        assert [r.name for r in result.failed] == ["mid_transient"]
+        assert "stimulus exploded" in result["mid_transient"].error
+        assert result[0].ok and result[2].ok
+
+    def test_unpicklable_scenario_fails_fast_with_name(self):
+        unpicklable = Scenario(
+            name="lambda_builder",
+            builder=lambda **kw: build_rc_ladder(**kw),  # noqa: E731
+            builder_kwargs={"n_sections": 1},
+            waveform=Sine(0.5, 0.1, 1e5), transient=FAST)
+        good = eight_scenarios()[0]
+        with pytest.raises(ReproError, match="lambda_builder.*not picklable"):
+            run_sweep([good, unpicklable], SweepOptions(n_workers=2))
+        # Serial execution never pickles, so the same scenario runs fine.
+        result = run_sweep([unpicklable], SweepOptions(n_workers=1))
+        assert result[0].ok
 
 
 class TestTFTFeed:
