@@ -19,6 +19,7 @@ import pytest
 from repro.circuit import TransientOptions, transient_analysis
 from repro.circuit.waveforms import Sine
 from repro.circuits import build_output_buffer, buffer_training_waveform, build_rc_ladder
+from repro.circuits.buffer import buffer_test_pattern
 
 from .artifacts import record_benchmark
 
@@ -102,6 +103,71 @@ class TestSparseLadderSpeedup:
                                    rtol=1e-7, atol=1e-9)
         # Locally this measures ~10x; the slack absorbs noisy shared CI runners.
         assert speedup >= 2.5
+
+
+class TestAdaptiveStepping:
+    def test_bitpattern_adaptive_matches_fine_reference_with_3x_fewer_steps(self, capsys):
+        """LTE-controlled stepping on the paper's 2.5 GS/s validation stimulus.
+
+        The raised-cosine bit edges need fine steps but the flat tops do not;
+        a fixed grid resolves everything at edge resolution.  Acceptance: the
+        adaptive run agrees with a 4x-finer fixed-dt reference within the LTE
+        tolerance while accepting at least 3x fewer steps.
+        """
+        waveform = buffer_test_pattern(n_bits=16)
+        system = build_output_buffer(input_waveform=waveform).build()
+        system.compile("auto")  # exclude one-time compilation from timing
+        bit_period = 1.0 / waveform.bit_rate
+        t_stop = 16 * bit_period
+        dt_fine = bit_period / 160          # 4x finer than the bit/40 base grid
+        lte_rel_tol = 1e-3
+
+        start = time.perf_counter()
+        r_fixed = transient_analysis(
+            system, TransientOptions(t_stop=t_stop, dt=dt_fine))
+        t_fixed = time.perf_counter() - start
+        start = time.perf_counter()
+        r_adaptive = transient_analysis(
+            system, TransientOptions(t_stop=t_stop, dt=dt_fine, adaptive=True,
+                                     lte_rel_tol=lte_rel_tol,
+                                     max_dt_factor=40.0))
+        t_adaptive = time.perf_counter() - start
+
+        # Resample the non-uniform adaptive grid onto the reference grid.
+        served = r_adaptive.resample(r_fixed.times)
+        reference = r_fixed.outputs[:, 0]
+        rel_rmse = (np.sqrt(np.mean((served - reference) ** 2))
+                    / np.sqrt(np.mean(reference ** 2)))
+        step_ratio = r_fixed.accepted_steps / r_adaptive.accepted_steps
+
+        with capsys.disabled():
+            print(f"\n[buffer adaptive] fixed dt={dt_fine:.2e}: "
+                  f"{r_fixed.accepted_steps} steps in {t_fixed * 1e3:.1f} ms; "
+                  f"adaptive: {r_adaptive.accepted_steps} steps "
+                  f"({r_adaptive.rejected_steps} rejected) in "
+                  f"{t_adaptive * 1e3:.1f} ms -> {step_ratio:.1f}x fewer steps, "
+                  f"rel RMSE {rel_rmse:.2e}")
+
+        record_benchmark("BENCH_engine.json", "buffer_adaptive_bitpattern", {
+            "fixed_steps": r_fixed.accepted_steps,
+            "adaptive_steps": r_adaptive.accepted_steps,
+            "adaptive_rejections": r_adaptive.rejected_steps,
+            "lte_rejections": r_adaptive.lte_rejections,
+            "step_ratio": step_ratio,
+            "fixed_ms": t_fixed * 1e3,
+            "adaptive_ms": t_adaptive * 1e3,
+            "relative_rmse": rel_rmse,
+            "lte_rel_tol": lte_rel_tol,
+        })
+
+        assert r_adaptive.times[-1] == t_stop        # snapped exactly onto t_stop
+        assert step_ratio >= 3.0, (
+            f"adaptive stepping only saved {step_ratio:.1f}x steps")
+        # "Within the LTE tolerance": the controller holds the *per-step* error
+        # at lte_rel_tol; the accumulated trajectory deviation stays within a
+        # small multiple of it.
+        assert rel_rmse <= 3.0 * lte_rel_tol, (
+            f"adaptive trajectory drifted {rel_rmse:.2e} from the reference")
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -399,6 +399,20 @@ class CompiledMNA:
             self._c_lin = self._c_base
             self._mos_pos = mos_rows * n + mos_cols  # flat indices into raveled G
             self._dio_pos = dio_rows * n + dio_cols
+            self._ns_pos = ns_rows * n + ns_cols
+            self._nd_pos = nd_rows * n + nd_cols
+
+        # Positions of every entry a *nonlinear* device stamps (CSC data
+        # positions in sparse mode, flat raveled indices in dense mode).
+        # The FactorizationCache uses these as its per-block drift metric:
+        # only drift in this block invalidates cached LU factors, because
+        # the remaining (linear) entries move exclusively through the
+        # ``G + alpha C`` combination factor, which the analyses signal
+        # explicitly via cache.invalidate() on time-step changes.
+        self.nonlinear_positions = np.unique(np.concatenate([
+            self._ns_pos, self._nd_pos, self._mos_pos, self._dio_pos,
+        ])) if (self._ns_pos.size or self._nd_pos.size or self._mos_pos.size
+                or self._dio_pos.size) else np.zeros(0, dtype=np.intp)
 
         self._static_has_nl = (bool(self._nl_static) or bool(self._mosfets.devices)
                                or bool(self._diodes.devices))
@@ -528,6 +542,9 @@ class LegacyEngine:
     """Reference engine: the original per-device dense stamping path."""
 
     is_sparse = False
+    #: No stamp-position bookkeeping: the legacy path cannot provide a
+    #: per-block drift mask, so caches fall back to the global metric.
+    nonlinear_positions = None
 
     def __init__(self, system: "MNASystem") -> None:
         self.system = system

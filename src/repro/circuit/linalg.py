@@ -43,6 +43,18 @@ class FactorizationCache:
     singular_threshold:
         A dense factorisation whose smallest pivot magnitude falls at or below
         this value raises :class:`SingularMatrixError`.
+    drift_indices:
+        Optional *per-block* drift metric: positions (into the CSC ``data``
+        vector, or flat indices into the raveled dense matrix) of the entries
+        whose drift should be compared — in the MNA analyses, the entries
+        that nonlinear devices stamp.  Both the drift and its reference scale
+        are then measured over this block only, so the tolerance is relative
+        to the nonlinear entries' own magnitude rather than to the largest
+        (often linear) entry of the whole matrix.  This is what makes a
+        modified-Newton ``reuse_tolerance`` meaningful on large mostly-linear
+        systems.  Callers are responsible for :meth:`invalidate` when entries
+        *outside* the block change for structural reasons (e.g. the
+        ``G + (2/dt) C`` combination after a time-step change).
 
     Attributes
     ----------
@@ -53,11 +65,14 @@ class FactorizationCache:
     """
 
     def __init__(self, reuse_tolerance: float = 0.0,
-                 singular_threshold: float = 0.0) -> None:
+                 singular_threshold: float = 0.0,
+                 drift_indices: np.ndarray | None = None) -> None:
         if reuse_tolerance < 0.0:
             raise ValueError("reuse_tolerance must be non-negative")
         self.reuse_tolerance = float(reuse_tolerance)
         self.singular_threshold = float(singular_threshold)
+        self.drift_indices = (None if drift_indices is None
+                              else np.unique(np.asarray(drift_indices, dtype=np.intp)))
         self.factorizations = 0
         self.reuses = 0
         self.solves = 0
@@ -103,8 +118,21 @@ class FactorizationCache:
         cached = self._data
         if cached is None or cached.shape != data.shape:
             return False
-        drift = float(np.max(np.abs(data - cached))) if data.size else 0.0
-        scale = float(np.max(np.abs(cached))) if cached.size else 0.0
+        idx = self.drift_indices
+        if idx is not None:
+            if idx.size == 0:
+                # Purely linear block set: entries only move for structural
+                # reasons the caller signals through invalidate().
+                return True
+            flat = data.reshape(-1)
+            if idx[-1] >= flat.size:          # mask built for another pattern
+                return False
+            cflat = cached.reshape(-1)
+            drift = float(np.max(np.abs(flat[idx] - cflat[idx])))
+            scale = float(np.max(np.abs(cflat[idx])))
+        else:
+            drift = float(np.max(np.abs(data - cached))) if data.size else 0.0
+            scale = float(np.max(np.abs(cached))) if cached.size else 0.0
         return drift <= self.reuse_tolerance * scale
 
     def _factorize(self, matrix, sparse: bool, data: np.ndarray) -> None:

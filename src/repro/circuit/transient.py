@@ -70,10 +70,35 @@ class TransientOptions:
     #: factors only for bit-identical Jacobians — a large win for linear
     #: circuits (one factorisation per dt) at zero convergence cost; raising
     #: it trades Newton iterations for factorisations, which only pays off
-    #: for systems large enough that the LU dominates an iteration.
+    #: for systems large enough that the LU dominates an iteration.  The
+    #: drift is measured per-block (over the entries nonlinear devices
+    #: stamp) on the compiled engines, so the tolerance is relative to the
+    #: nonlinear entries' own magnitude; the solver invalidates the cache
+    #: explicitly whenever ``dt`` changes, which is the only way the linear
+    #: entries move.
     jacobian_reuse_tol: float = 0.0
     #: Extrapolate the previous two solutions as the Newton initial guess.
     predictor: bool = True
+    #: LTE-controlled adaptive time stepping: estimate the local truncation
+    #: error of each step from the predictor–corrector difference and grow /
+    #: shrink ``dt`` to hold a weighted error norm at 1.  ``dt`` becomes the
+    #: *initial* step; the controller moves it within
+    #: ``[dt * min_dt_factor, dt * max_dt_factor]``.
+    adaptive: bool = False
+    #: Absolute and relative weights of the LTE norm: a step is accepted when
+    #: ``rms(lte / (lte_abs_tol + lte_rel_tol * |v|)) <= 1``.
+    lte_rel_tol: float = 1e-3
+    lte_abs_tol: float = 1e-6
+    #: Safety factor on the optimal-step formula and the per-step growth /
+    #: shrink clamps of the controller (standard values).
+    lte_safety: float = 0.9
+    max_growth: float = 2.0
+    min_shrink: float = 0.2
+    #: Largest adaptive step as a multiple of the nominal ``dt``.  Keep this
+    #: below the fastest feature of the stimulus: a step that clears an
+    #: entire input transition lands on a smooth solution and leaves the LTE
+    #: estimate nothing to reject.
+    max_dt_factor: float = 50.0
 
     def validate(self) -> None:
         if self.t_stop <= self.t_start:
@@ -82,6 +107,15 @@ class TransientOptions:
             raise ValueError("dt must be positive")
         if self.method not in ("trapezoidal", "backward_euler"):
             raise ValueError(f"unknown integration method {self.method!r}")
+        if self.adaptive:
+            if self.lte_rel_tol <= 0.0 and self.lte_abs_tol <= 0.0:
+                raise ValueError("adaptive stepping needs a positive LTE tolerance")
+            if not 0.0 < self.min_shrink < 1.0:
+                raise ValueError("min_shrink must lie in (0, 1)")
+            if self.max_growth < 1.0:
+                raise ValueError("max_growth must be at least 1")
+            if self.max_dt_factor < 1.0:
+                raise ValueError("max_dt_factor must be at least 1")
 
 
 @dataclass
@@ -96,10 +130,18 @@ class TransientResult:
     rejected_steps: int
     wall_time: float
     method: str
+    #: Steps rejected by the LTE controller (subset of ``rejected_steps``;
+    #: the rest are Newton convergence failures).
+    lte_rejections: int = 0
 
     @property
     def n_points(self) -> int:
         return int(self.times.size)
+
+    @property
+    def accepted_steps(self) -> int:
+        """Number of accepted integration steps (time points minus the IC)."""
+        return int(self.times.size) - 1
 
     def output(self, index: int = 0) -> np.ndarray:
         """Waveform of one output as a 1-D array."""
@@ -117,7 +159,17 @@ class TransientResult:
         return self.states[:, idx]
 
     def resample(self, times: np.ndarray) -> np.ndarray:
-        """Linear interpolation of the first output onto a new time grid."""
+        """Linear interpolation of the first output onto a new time grid.
+
+        Contract: :attr:`times` is strictly increasing but **not necessarily
+        uniform** — adaptive (LTE-controlled) runs place points densely on
+        fast transitions and sparsely on flat stretches.  Consumers that need
+        a uniform grid (the compiled runtime's fixed-``dt`` kernel,
+        :func:`repro.runtime.validate.validate_model`'s RMSE comparison)
+        must resample through this method (or ``np.interp``) rather than
+        assume ``times[1] - times[0]`` spacing.  Query points outside the
+        simulated span clamp to the first/last output sample.
+        """
         return np.interp(times, self.times, self.outputs[:, 0])
 
 
@@ -148,7 +200,8 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
     legacy = options.assembly == "legacy"
     cache = None if legacy else FactorizationCache(
         reuse_tolerance=options.jacobian_reuse_tol,
-        singular_threshold=options.newton.singular_threshold)
+        singular_threshold=options.newton.singular_threshold,
+        drift_indices=getattr(engine, "nonlinear_positions", None))
     use_predictor = options.predictor and not legacy
 
     if initial_state is None:
@@ -177,6 +230,7 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
 
     total_newton = 0
     rejected = 0
+    lte_rejected = 0
 
     if snapshot_callback is not None and options.snapshot_stride > 0:
         snapshot_callback.record(options.t_start, v.copy(), u0,
@@ -185,15 +239,47 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
                                  engine.materialize(c_op.copy()))
 
     t = options.t_start
+    t_stop = options.t_stop
+    span = t_stop - options.t_start
+    # Relative end-of-interval guard: an absolute epsilon is meaningless at
+    # large t_stop, and float accumulation of t can otherwise leave a sliver
+    # that becomes a near-zero step with a catastrophically scaled 2/dt.
+    end_eps = 1e-12 * span
     dt = options.dt
     min_dt = options.dt * options.min_dt_factor
+    adaptive = options.adaptive
+    max_dt = options.dt * options.max_dt_factor if adaptive else options.dt
+    #: Integration method of the *next* step.  The adaptive controller retries
+    #: rejected steps with backward Euler: the trapezoidal qdot recursion
+    #: ``(2/dt)(q - q_prev) - qdot_prev`` propagates perturbations with
+    #: alternating sign and no decay (the classic trap "ringing"), so once an
+    #: edge seeds an oscillation, shrinking dt can never bring the LTE down.
+    #: One L-stable BE step does not consume ``qdot_prev`` at all and resets
+    #: the recursion; the nominal method resumes on the following step.
+    trap_next = use_trap
     step_index = 0
     v_prev: np.ndarray | None = None
     dt_prev = dt
+    dt_factored = None       # dt whose G + (alpha/dt) C the cache last saw
 
-    while t < options.t_stop - 1e-18:
-        dt = min(dt, options.t_stop - t)
-        t_new = t + dt
+    while t < t_stop - end_eps:
+        dt = min(dt, max_dt)
+        remaining = t_stop - t
+        # Snap the final step exactly onto t_stop: take the whole remainder
+        # whenever the nominal step would overshoot it or leave a sub-percent
+        # sliver behind (whose near-zero dt would wreck the 2/dt scaling).
+        snap_to_stop = remaining <= dt * 1.01
+        if snap_to_stop:
+            dt = remaining
+        if cache is not None and dt != dt_factored:
+            # The linear Jacobian entries move only through the 1/dt factor
+            # of the G + alpha C combination; with the per-block drift metric
+            # the cache cannot see that, so signal it explicitly.
+            cache.invalidate()
+            dt_factored = dt
+        # t + (t_stop - t) is not guaranteed to round to t_stop exactly.
+        t_new = t_stop if snap_to_stop else t + dt
+        trap_step = trap_next
         excitation = system.excitation(t_new)
         q_prev = q_vec
         qdot_prev = qdot
@@ -203,7 +289,7 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
         def residual_and_jacobian(v_trial: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
             i_trial, g_trial = engine.eval_static(v_trial)
             q_trial, c_trial = engine.eval_dynamic(v_trial)
-            if use_trap:
+            if trap_step:
                 residual = (2.0 / dt) * (q_trial - q_prev) - qdot_prev + i_trial - excitation
                 jac = engine.combine(g_trial, c_trial, 2.0 / dt)
             else:
@@ -217,11 +303,14 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
             return residual, engine.materialize(jac)
 
         # Polynomial predictor: extrapolate the last two accepted solutions.
-        guess = v
-        if use_predictor and v_prev is not None and dt_prev > 0.0:
-            predicted = v + (v - v_prev) * (dt / dt_prev)
-            if np.all(np.isfinite(predicted)):
-                guess = predicted
+        # Computed even when not used as the Newton guess — the LTE estimate
+        # of the adaptive controller is the predictor-corrector difference.
+        predicted: np.ndarray | None = None
+        if v_prev is not None and dt_prev > 0.0:
+            extrapolated = v + (v - v_prev) * (dt / dt_prev)
+            if np.all(np.isfinite(extrapolated)):
+                predicted = extrapolated
+        guess = predicted if (use_predictor and predicted is not None) else v
 
         try:
             result = newton_solve(residual_and_jacobian, guess, options.newton,
@@ -247,6 +336,8 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
         if not result.converged:
             rejected += 1
             dt *= 0.5
+            if adaptive:
+                trap_next = False      # L-stable retry, see trap_next above
             if cache is not None:
                 cache.invalidate()
             if dt < min_dt:
@@ -256,6 +347,45 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
                     iterations=total_newton, residual=result.residual_norm)
             continue
 
+        # LTE estimate from the predictor-corrector difference: the linear
+        # extrapolation and the implicit corrector bracket the true solution,
+        # so their (scaled) difference tracks the step's truncation error.
+        # Optimal-step exponent 1/(p+1) of this step's integration order p.
+        lte_exponent = 1.0 / 3.0 if trap_step else 0.5
+        lte_err: float | None = None
+        if adaptive and predicted is not None:
+            v_new = result.solution
+            diff = v_new - predicted
+            if trap_step:
+                # Second-order corrector vs first-order predictor: the
+                # classical Milne-type estimate with non-uniform step weights.
+                est = diff * (dt / (3.0 * (dt + dt_prev)))
+            else:
+                est = diff * (dt / (dt + dt_prev))
+            weight = options.lte_abs_tol + options.lte_rel_tol * np.maximum(
+                np.abs(v_new), np.abs(v))
+            with np.errstate(divide="ignore", invalid="ignore"):
+                lte_err = float(np.sqrt(np.mean(np.square(est / weight))))
+            if not np.isfinite(lte_err):
+                lte_err = None
+            elif lte_err > 1.0:
+                # Reject: shrink towards the optimal step and retry with BE.
+                rejected += 1
+                lte_rejected += 1
+                trap_next = False
+                shrink = max(options.min_shrink,
+                             options.lte_safety * lte_err ** -lte_exponent)
+                dt *= shrink
+                if cache is not None:
+                    cache.invalidate()
+                if dt < min_dt:
+                    raise ConvergenceError(
+                        f"transient analysis of {system.circuit.name!r} cannot "
+                        f"meet the LTE tolerance at t={t_new:.3e}s even with "
+                        f"dt={dt:.3e}s (error norm {lte_err:.2e})",
+                        iterations=total_newton, residual=result.residual_norm)
+                continue
+
         # Accept the step.
         v_prev = v
         dt_prev = dt
@@ -263,10 +393,11 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
         q_vec = captured["q"]
         g_op, c_op = captured["G"], captured["C"]
         i_vec = captured["i"]
-        if use_trap:
+        if trap_step:
             qdot = (2.0 / dt) * (q_vec - q_prev) - qdot_prev
         else:
             qdot = (q_vec - q_prev) / dt
+        trap_next = use_trap           # resume the nominal method
 
         t = t_new
         step_index += 1
@@ -286,8 +417,17 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
         if progress is not None:
             progress((t - options.t_start) / (options.t_stop - options.t_start))
 
-        # Recover the step size after successful steps following a halving.
-        if dt < options.dt:
+        if adaptive:
+            # Grow/shrink towards the step whose predicted error norm is 1,
+            # damped by the safety factor and the growth/shrink clamps.
+            # Bootstrap steps (no estimate yet) hold dt unchanged.
+            if lte_err is not None:
+                factor = (options.lte_safety * lte_err ** -lte_exponent
+                          if lte_err > 0.0 else options.max_growth)
+                factor = min(options.max_growth, max(options.min_shrink, factor))
+                dt = min(max_dt, max(min_dt, dt * factor))
+        elif dt < options.dt:
+            # Fixed-step mode: recover the nominal step after halvings.
             dt = min(options.dt, dt * 2.0)
 
         if len(times) > options.max_points:
@@ -303,4 +443,5 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
         rejected_steps=rejected,
         wall_time=_time.perf_counter() - wall_start,
         method=options.method,
+        lte_rejections=lte_rejected,
     )

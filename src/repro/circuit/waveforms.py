@@ -42,7 +42,14 @@ class Waveform:
         return self.value(float(t))
 
     def sample(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
-        """Evaluate the waveform on an array of time points."""
+        """Evaluate the waveform on an array of time points.
+
+        The base implementation loops over :meth:`value`; the built-in
+        waveforms override it with vectorised NumPy evaluation (this is the
+        hot path of :func:`repro.runtime.batch.stack_stimuli` and of
+        excitation evaluation for long bit patterns) and are tested to agree
+        with the scalar reference.
+        """
         times = np.asarray(times, dtype=float)
         return np.array([self.value(float(t)) for t in times.ravel()]).reshape(times.shape)
 
@@ -85,6 +92,15 @@ class Sine(Waveform):
         return self.offset + self.amplitude * envelope * math.sin(
             2.0 * math.pi * self.frequency * tau + self.phase)
 
+    def sample(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        tau = np.maximum(times - self.delay, 0.0)   # clamp: pre-delay is masked
+        envelope = np.exp(-self.damping * tau) if self.damping else 1.0
+        running = self.offset + self.amplitude * envelope * np.sin(
+            2.0 * math.pi * self.frequency * tau + self.phase)
+        held = self.offset + self.amplitude * math.sin(self.phase)
+        return np.where(times < self.delay, held, running)
+
 
 @dataclass
 class Pulse(Waveform):
@@ -113,6 +129,21 @@ class Pulse(Waveform):
             return self.pulsed + (self.initial - self.pulsed) * frac
         return self.initial
 
+    def sample(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        rise = max(self.rise, 1e-18)
+        fall = max(self.fall, 1e-18)
+        tau = np.mod(times - self.delay, self.period)
+        ramp_up = self.initial + (self.pulsed - self.initial) * tau / rise
+        frac = (tau - rise - self.width) / fall
+        ramp_down = self.pulsed + (self.initial - self.pulsed) * frac
+        # Conditions tested in the same order as the scalar reference.
+        return np.select(
+            [times < self.delay, tau < rise, tau < rise + self.width,
+             tau < rise + self.width + fall],
+            [self.initial, ramp_up, self.pulsed, ramp_down],
+            default=self.initial)
+
 
 @dataclass
 class PiecewiseLinear(Waveform):
@@ -129,6 +160,9 @@ class PiecewiseLinear(Waveform):
 
     def value(self, t: float) -> float:
         return float(np.interp(t, self._times, self._values))
+
+    def sample(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
+        return np.interp(np.asarray(times, dtype=float), self._times, self._values)
 
 
 def prbs_bits(n_bits: int, order: int = 7, seed: int = 0b1010101) -> list[int]:
@@ -179,6 +213,8 @@ class BitPattern(Waveform):
         if self.edge_time is None:
             self.edge_time = 0.25 * self._bit_period
         self._edge = min(float(self.edge_time), self._bit_period)
+        self._levels = np.where(np.array(self._bits, dtype=bool),
+                                float(self.high), float(self.low))
 
     @property
     def duration(self) -> float:
@@ -208,3 +244,21 @@ class BitPattern(Waveform):
         phase = t_in_bit / self._edge
         blend = 0.5 * (1.0 - math.cos(math.pi * phase))
         return previous + (current - previous) * blend
+
+    def sample(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
+        times = np.asarray(times, dtype=float)
+        levels = self._levels
+        n = levels.size
+        tau = times - self.delay
+        index = np.floor_divide(tau, self._bit_period).astype(np.intp)
+        clipped = np.clip(index, 0, n - 1)
+        current = levels[clipped]
+        previous = np.where(index > 0, levels[np.clip(index - 1, 0, n - 1)], current)
+        t_in_bit = tau - index * self._bit_period
+        edge = self._edge
+        phase = t_in_bit / (edge if edge > 0.0 else 1.0)
+        blend = 0.5 * (1.0 - np.cos(math.pi * phase))
+        value = np.where((t_in_bit >= edge) | (current == previous),
+                         current, previous + (current - previous) * blend)
+        value = np.where(index >= n, levels[-1], value)
+        return np.where(tau <= 0.0, levels[0], value)

@@ -73,6 +73,18 @@ def evaluate_batch(model, inputs: np.ndarray,
     n_batch, n_steps = inputs.shape
     if n_steps < 1:
         raise ModelError("need at least one time sample")
+    finite = np.isfinite(inputs)
+    if not finite.all():
+        # NaN/Inf would sail through np.clip and the intp cast into undefined
+        # table indices, silently producing garbage outputs for the whole row.
+        bad_rows = np.flatnonzero(~finite.all(axis=1))
+        first_row = int(bad_rows[0])
+        first_step = int(np.flatnonzero(~finite[first_row])[0])
+        raise ModelError(
+            f"stimulus batch contains non-finite samples: {bad_rows.size} of "
+            f"{n_batch} row(s) affected, first at row {first_row} (stimulus "
+            f"{first_row}), step {first_step} "
+            f"(value {inputs[first_row, first_step]!r})")
 
     # Peak per-stimulus workspace of _evaluate_block: vr/vi tables (2P rows of
     # K floats), their fancy-indexed per-state copies vr_s/vi_s (2S rows), the

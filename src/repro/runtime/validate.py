@@ -57,7 +57,7 @@ class ValidationReport:
     error_bound: float | None
     sim_wall_time: float
     model_wall_time: float
-    errors: BatchErrorReport = field(repr=False, default=None)
+    errors: BatchErrorReport | None = field(repr=False, default=None)
 
     HEADER = ["Scenario", "Steps", "RMSE", "Relative RMSE", "Max abs error"]
 
@@ -156,13 +156,18 @@ def validate_model(model: CompiledModel, scenarios,
         int(np.floor((t_stop - t_start) / model.dt)) + 1)
 
     # Stack each scenario's *input* onto the model grid, serve the batch, and
-    # compare against the simulator output interpolated onto the same grid.
+    # compare against the simulator output resampled onto the same grid.
+    # The simulator time axis is strictly increasing but not necessarily
+    # uniform — adaptive (LTE-controlled) transients place steps densely on
+    # fast transitions and sparsely elsewhere — so both waveforms go through
+    # linear interpolation onto the compiled model's uniform ``dt`` before
+    # any RMSE is computed (the contract of ``TransientResult.resample``).
     stimuli = np.empty((len(scenarios), times.size))
     reference = np.empty_like(stimuli)
     for row, result in enumerate(sweep_result.results):
         transient = result.transient
         stimuli[row] = np.interp(times, transient.times, transient.inputs[:, 0])
-        reference[row] = np.interp(times, transient.times, transient.outputs[:, 0])
+        reference[row] = transient.resample(times)
 
     model_start = _time.perf_counter()
     served = model.evaluate(stimuli)

@@ -70,13 +70,30 @@ def _run_scenario(scenario: Scenario, capture_snapshots: bool) -> ScenarioResult
         result = transient_analysis(system, scenario.transient,
                                     snapshot_callback=trajectory)
         if trajectory is not None and scenario.max_snapshots is not None:
-            trajectory = trajectory.subsample(scenario.max_snapshots)
+            # Adaptive runs cluster accepted steps on fast transitions; thin
+            # uniformly in time so the snapshot family still covers the
+            # whole trajectory instead of oversampling the edges.
+            by = "time" if scenario.transient.adaptive else "index"
+            trajectory = trajectory.subsample(scenario.max_snapshots, by=by)
         return ScenarioResult(scenario=scenario, transient=result,
                               trajectory=trajectory,
                               wall_time=_time.perf_counter() - start)
     except Exception:  # noqa: BLE001 - workers must report, not crash the pool
         return ScenarioResult(scenario=scenario, error=traceback.format_exc(),
                               wall_time=_time.perf_counter() - start)
+
+
+def _run_pickled_scenario(payload: bytes, capture_snapshots: bool) -> ScenarioResult:
+    """Worker entry point taking the pre-pickled scenario payload.
+
+    ``run_sweep`` already serialises every scenario once for its
+    fail-fast picklability check; shipping those bytes (instead of the
+    scenario object, which the executor would pickle a second time) reuses
+    that work and keeps the object-graph traversal out of the dispatch loop.
+    """
+    import pickle
+
+    return _run_scenario(pickle.loads(payload), capture_snapshots)
 
 
 class SweepResult:
@@ -199,12 +216,15 @@ def run_sweep(scenarios: Iterable[Scenario],
         n_workers = min(n_workers, len(scenario_list))
         # Fail fast with a named scenario instead of the executor's opaque
         # PicklingError mid-map (lambdas/closures as builders are the usual
-        # culprit; builders must be module-level callables).
+        # culprit; builders must be module-level callables).  The payloads of
+        # this pre-check are shipped to the workers as-is, so each scenario
+        # is pickled exactly once.
         import pickle
 
+        payloads: list[bytes] = []
         for scenario in scenario_list:
             try:
-                pickle.dumps(scenario)
+                payloads.append(pickle.dumps(scenario))
             except Exception as exc:
                 raise ReproError(
                     f"scenario {scenario.name!r} is not picklable and cannot be "
@@ -213,7 +233,7 @@ def run_sweep(scenarios: Iterable[Scenario],
                 ) from exc
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
             results = list(pool.map(
-                _run_scenario, scenario_list,
+                _run_pickled_scenario, payloads,
                 [opts.capture_snapshots] * len(scenario_list)))
 
     sweep = SweepResult(results, _time.perf_counter() - wall_start, n_workers)

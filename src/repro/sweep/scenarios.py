@@ -94,6 +94,10 @@ class Scenario:
                 "dt": self.transient.dt,
                 "method": self.transient.method,
                 "assembly": self.transient.assembly,
+                "adaptive": self.transient.adaptive,
+                "lte_rel_tol": self.transient.lte_rel_tol,
+                "lte_abs_tol": self.transient.lte_abs_tol,
+                "jacobian_reuse_tol": self.transient.jacobian_reuse_tol,
             },
             "max_snapshots": self.max_snapshots,
         }

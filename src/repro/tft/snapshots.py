@@ -124,20 +124,39 @@ class SnapshotTrajectory:
         return float(u.min()), float(u.max())
 
     # ------------------------------------------------------------- reductions
-    def subsample(self, max_snapshots: int) -> "SnapshotTrajectory":
+    def subsample(self, max_snapshots: int, by: str = "index") -> "SnapshotTrajectory":
         """Uniformly thinned copy with at most ``max_snapshots`` snapshots.
 
         The paper uses "about 100 TFT samples"; a transient run usually
         produces more accepted steps than that, so the trajectory is thinned
         before the (dense-solve heavy) TFT transform.
+
+        ``by`` selects the thinning axis: ``"index"`` keeps every k-th
+        snapshot, which is uniform in *time* only on a fixed-``dt`` grid;
+        ``"time"`` picks the snapshot nearest each of ``max_snapshots``
+        uniformly spaced time targets.  Adaptive (LTE-controlled) transients
+        cluster their accepted steps on fast transitions, so index thinning
+        would oversample the edges and starve the flat stretches — sweeps
+        over adaptive runs should thin ``by="time"``.
         """
         if max_snapshots < 2:
             raise ReproError("subsample needs max_snapshots >= 2")
+        if by not in ("index", "time"):
+            raise ReproError(f"unknown subsample axis {by!r}; use 'index' or 'time'")
         thinned = SnapshotTrajectory(self.system)
         if len(self.snapshots) <= max_snapshots:
             thinned.snapshots = list(self.snapshots)
             return thinned
-        indices = np.unique(np.linspace(0, len(self.snapshots) - 1, max_snapshots).astype(int))
+        if by == "time":
+            times = self.times
+            targets = np.linspace(times[0], times[-1], max_snapshots)
+            right = np.clip(np.searchsorted(times, targets), 1, times.size - 1)
+            nearest = np.where(targets - times[right - 1] <= times[right] - targets,
+                               right - 1, right)
+            indices = np.unique(nearest)
+        else:
+            indices = np.unique(
+                np.linspace(0, len(self.snapshots) - 1, max_snapshots).astype(int))
         thinned.snapshots = [self.snapshots[i] for i in indices]
         return thinned
 

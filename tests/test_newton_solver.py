@@ -227,3 +227,72 @@ class TestSingularThreshold:
 
         result = newton_solve(f, np.zeros(2), NewtonOptions(max_iterations=3))
         assert np.isfinite(result.solution).all()
+
+
+class TestPerBlockDriftMetric:
+    """drift_indices: only the nonlinear block decides factor reuse."""
+
+    def test_linear_drift_ignored_nonlinear_drift_triggers(self):
+        cache = FactorizationCache(reuse_tolerance=1e-2, drift_indices=[4])
+        a = np.diag([2.0, 3.0, 4.0])
+        b = np.ones(3)
+        cache.solve(a, b)
+        moved_linear = a.copy()
+        moved_linear[0, 0] *= 5.0              # flat index 0: outside the block
+        cache.solve(moved_linear, b)
+        assert cache.reuses == 1 and cache.factorizations == 1
+        moved_nonlinear = a.copy()
+        moved_nonlinear[1, 1] *= 1.5           # flat index 4: inside the block
+        x = cache.solve(moved_nonlinear, b)
+        assert cache.factorizations == 2
+        assert np.allclose(moved_nonlinear @ x, b)
+
+    def test_scale_is_blockwise_not_global(self):
+        """A 20% move of a tiny nonlinear entry must trigger even when the
+        matrix is dominated by huge linear entries (the whole point of the
+        per-block metric for large mostly-linear systems)."""
+        cache = FactorizationCache(reuse_tolerance=0.05, drift_indices=[4])
+        a = np.diag([1e9, 1.0, 1.0])
+        b = np.ones(3)
+        cache.solve(a, b)
+        moved = a.copy()
+        moved[1, 1] = 1.2                      # 0.2 drift vs global scale 1e9
+        cache.solve(moved, b)
+        assert cache.factorizations == 2       # global metric would have reused
+
+    def test_empty_block_reuses_until_invalidated(self):
+        cache = FactorizationCache(reuse_tolerance=0.0,
+                                   drift_indices=np.zeros(0, dtype=np.intp))
+        a = np.diag([2.0, 2.0])
+        b = np.ones(2)
+        cache.solve(a, b)
+        stale = cache.solve(a * 2.0, b)        # linear-only change: reused
+        assert cache.reused_last
+        assert np.allclose(stale, [0.5, 0.5])  # solved with the OLD factors
+        cache.invalidate()                     # the caller's dt-change signal
+        fresh = cache.solve(a * 2.0, b)
+        assert cache.factorizations == 2
+        assert np.allclose(fresh, [0.25, 0.25])
+
+    def test_sparse_data_vector_block(self):
+        pattern = np.array([[2.0, 1.0], [0.0, 3.0]])
+        a = sp.csc_matrix(pattern)
+        # CSC data order of this pattern: [2.0, 1.0, 3.0]; block = entry 2.
+        cache = FactorizationCache(reuse_tolerance=1e-2, drift_indices=[2])
+        b = np.ones(2)
+        cache.solve(a, b)
+        moved_linear = a.copy()
+        moved_linear.data[0] *= 10.0
+        cache.solve(moved_linear, b)
+        assert cache.reuses == 1
+        moved_nonlinear = a.copy()
+        moved_nonlinear.data[2] *= 2.0
+        cache.solve(moved_nonlinear, b)
+        assert cache.factorizations == 2
+
+    def test_out_of_range_block_refactors(self):
+        cache = FactorizationCache(reuse_tolerance=1e-2, drift_indices=[100])
+        a = np.diag([2.0, 3.0])
+        cache.solve(a, np.ones(2))
+        cache.solve(a.copy(), np.ones(2))      # mask beyond data: no reuse
+        assert cache.factorizations == 2

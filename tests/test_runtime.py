@@ -24,7 +24,7 @@ from repro.runtime import (
     stack_stimuli,
     validate_model,
 )
-from repro.sweep import run_sweep, waveform_sweep
+from repro.sweep import SweepOptions, run_sweep, waveform_sweep
 from repro.tft.state_estimator import StateEstimator
 
 
@@ -131,6 +131,20 @@ class TestCompile:
         stack = stack_stimuli([Sine(0.5, 0.1, 1e6), Sine(0.5, 0.2, 2e6)], times)
         assert stack.shape == (2, 50)
         np.testing.assert_allclose(stack[0], Sine(0.5, 0.1, 1e6).sample(times))
+
+    def test_non_finite_stimuli_rejected_with_row_named(self, compiled):
+        """NaN/Inf must raise, not silently index garbage table entries."""
+        batch = np.full((4, 32), 0.5)
+        batch[2, 7] = np.nan
+        with pytest.raises(ModelError, match=r"row 2.*step 7"):
+            compiled.evaluate(batch)
+        batch[2, 7] = np.inf
+        with pytest.raises(ModelError, match="non-finite"):
+            compiled.evaluate(batch)
+        single = np.full(16, 0.5)
+        single[3] = -np.inf
+        with pytest.raises(ModelError, match="row 0"):
+            compiled.evaluate(single)
 
 
 class TestModelSerialization:
@@ -285,6 +299,24 @@ class TestValidationHarness:
         report = validate_model(family["compiled"], family["scenarios"],
                                 sweep_result=family["sweep"])
         assert report.within_bound
+
+    def test_adaptive_sweep_validates_within_bound(self, family):
+        """Acceptance: validation replays on LTE-controlled transients.
+
+        The simulator reference then lives on a non-uniform time grid; the
+        harness must resample it onto the compiled model's uniform ``dt``
+        before computing any RMSE.
+        """
+        scenarios = [s.with_transient(adaptive=True, lte_rel_tol=1e-4,
+                                      max_dt_factor=10.0)
+                     for s in family["scenarios"]]
+        sweep = run_sweep(scenarios, SweepOptions(capture_snapshots=False))
+        grids = [np.diff(r.transient.times) for r in sweep.results]
+        assert all(g.max() > 1.5 * g.min() for g in grids)   # non-uniform
+        fixed_steps = family["sweep"].results[0].transient.accepted_steps
+        assert all(r.transient.accepted_steps < fixed_steps for r in sweep.results)
+        report = validate_model(family["compiled"], scenarios, sweep_result=sweep)
+        assert report.within_bound, report.summary()
 
     def test_mismatched_sweep_result_rejected(self, family):
         with pytest.raises(ModelError, match="exactly these scenarios"):

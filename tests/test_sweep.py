@@ -239,3 +239,44 @@ class TestTFTFeed:
         dataset = sweep_result.extract_combined_tft(max_snapshots=40)
         extraction = extract_rvf_model(dataset, RVFOptions(error_bound=5e-3))
         assert extraction.model.is_stable()
+
+
+class TestAdaptiveScenarios:
+    def test_recipe_records_adaptive_stepping_options(self):
+        scenario = Scenario(
+            name="ad", builder=build_rc_ladder,
+            transient=TransientOptions(t_stop=1e-6, dt=1e-9, adaptive=True,
+                                       lte_rel_tol=5e-4, lte_abs_tol=2e-7,
+                                       jacobian_reuse_tol=0.05))
+        transient = scenario.recipe()["transient"]
+        assert transient["adaptive"] is True
+        assert transient["lte_rel_tol"] == pytest.approx(5e-4)
+        assert transient["lte_abs_tol"] == pytest.approx(2e-7)
+        assert transient["jacobian_reuse_tol"] == pytest.approx(0.05)
+
+    def test_adaptive_sweep_thins_snapshots_by_time(self):
+        """Adaptive runs cluster steps; thinning must stay uniform in time."""
+        scenarios = waveform_sweep(
+            build_rc_ladder, [Sine(0.5, 0.3, 1e6)],
+            transient=TransientOptions(t_stop=1e-6, dt=1e-9, adaptive=True),
+            max_snapshots=12)
+        sweep = run_sweep(scenarios)
+        trajectory = sweep.results[0].trajectory
+        assert 2 <= len(trajectory) <= 12
+        times = trajectory.times
+        span = times[-1] - times[0]
+        # Time thinning covers the whole span without giant holes even though
+        # the underlying accepted steps are strongly non-uniform.
+        assert np.max(np.diff(times)) < 0.35 * span
+
+    def test_adaptive_parallel_matches_serial(self):
+        scenarios = waveform_sweep(
+            build_rc_ladder, [Sine(0.5, a, 2e5) for a in (0.1, 0.3)],
+            transient=TransientOptions(t_stop=1e-6, dt=1e-8, adaptive=True))
+        serial = run_sweep(scenarios, SweepOptions(n_workers=1))
+        parallel = run_sweep(scenarios, SweepOptions(n_workers=2))
+        for left, right in zip(serial.results, parallel.results):
+            np.testing.assert_array_equal(left.transient.times,
+                                          right.transient.times)
+            np.testing.assert_array_equal(left.transient.outputs,
+                                          right.transient.outputs)

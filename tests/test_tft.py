@@ -62,6 +62,31 @@ class TestSnapshotTrajectory:
         with pytest.raises(ReproError):
             trajectory.subsample(1)
 
+    def test_subsample_by_time_covers_nonuniform_grid(self):
+        """Adaptive grids cluster steps on edges; time thinning must not."""
+        circuit = build_rc_ladder(2, input_waveform=Sine(0.5, 0.3, 1e6))
+        system = circuit.build()
+        trajectory = SnapshotTrajectory(system)
+        transient_analysis(
+            system, TransientOptions(t_stop=1e-6, dt=1e-9, adaptive=True),
+            snapshot_callback=trajectory)
+        steps = np.diff(trajectory.times)
+        assert steps.max() > 2.0 * steps.min()    # grid really is non-uniform
+        thinned = trajectory.subsample(10, by="time")
+        assert 2 <= len(thinned) <= 10
+        # Selected times track the uniform targets within one local step.
+        targets = np.linspace(trajectory.times[0], trajectory.times[-1],
+                              len(thinned))
+        assert np.all(np.abs(thinned.times - targets) <= steps.max())
+        # Index thinning on the same trajectory oversamples the dense region.
+        by_index = trajectory.subsample(10, by="index")
+        assert np.max(np.diff(by_index.times)) >= np.max(np.diff(thinned.times))
+
+    def test_subsample_unknown_axis_rejected(self, rc_trajectory):
+        _, trajectory = rc_trajectory
+        with pytest.raises(ReproError, match="subsample axis"):
+            trajectory.subsample(10, by="steps")
+
     def test_sorted_by_input(self, rc_trajectory):
         _, trajectory = rc_trajectory
         ordered = trajectory.sorted_by_input()
