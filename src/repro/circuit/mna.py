@@ -155,6 +155,27 @@ class MNASystem:
         """Outputs ``y = D^T v`` for a solution vector ``v``."""
         return self.output_matrix.T @ v
 
+    def waveform_breakpoints(self, t_start: float, t_stop: float) -> np.ndarray:
+        """Merged stimulus corner times of every source in ``(t_start, t_stop)``.
+
+        Collects :meth:`Waveform.breakpoints
+        <repro.circuit.waveforms.Waveform.breakpoints>` from all sources
+        (input or not — a fixed supply ramp forces steps just like the signal
+        input does) into one sorted unique array.  The interval end points
+        are excluded: the integrator is already there.
+        """
+        from .waveforms import Waveform
+
+        collected = []
+        for device in self._devices:
+            waveform = getattr(device, "waveform", None)
+            if isinstance(waveform, Waveform):
+                collected.append(waveform.breakpoints(t_start, t_stop))
+        if not collected:
+            return np.empty(0)
+        merged = np.unique(np.concatenate(collected))
+        return merged[(merged > t_start) & (merged < t_stop)]
+
     # ------------------------------------------------------------- compilation
     def compile(self, assembly: str = "auto"):
         """Compiled pattern-cached evaluator of this system (cached per mode).

@@ -99,6 +99,13 @@ class TransientOptions:
     #: entire input transition lands on a smooth solution and leaves the LTE
     #: estimate nothing to reject.
     max_dt_factor: float = 50.0
+    #: Breakpoint-aware step cap (adaptive mode only): clamp the step so no
+    #: accepted interval straddles a stimulus corner — pulse edges, PWL
+    #: knots, bit-pattern transition starts/ends, as registered by
+    #: :meth:`Waveform.breakpoints <repro.circuit.waveforms.Waveform.
+    #: breakpoints>`.  The integrator lands exactly on each corner, which
+    #: removes the failure mode ``max_dt_factor`` only mitigates.
+    breakpoints: bool = True
 
     def validate(self) -> None:
         if self.t_stop <= self.t_start:
@@ -249,6 +256,15 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
     min_dt = options.dt * options.min_dt_factor
     adaptive = options.adaptive
     max_dt = options.dt * options.max_dt_factor if adaptive else options.dt
+    stimulus_corners: np.ndarray | None = None
+    if adaptive and options.breakpoints:
+        corner_times = system.waveform_breakpoints(options.t_start, t_stop)
+        # Corners within min_dt of t_stop belong to the final snap: landing
+        # on one would leave a sub-min_dt sliver to t_stop whose 2/dt scaling
+        # the snap exists to prevent.
+        corner_times = corner_times[corner_times < t_stop - max(end_eps, min_dt)]
+        if corner_times.size:
+            stimulus_corners = corner_times
     #: Integration method of the *next* step.  The adaptive controller retries
     #: rejected steps with backward Euler: the trapezoidal qdot recursion
     #: ``(2/dt)(q - q_prev) - qdot_prev`` propagates perturbations with
@@ -264,6 +280,7 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
 
     while t < t_stop - end_eps:
         dt = min(dt, max_dt)
+        dt_preferred = dt
         remaining = t_stop - t
         # Snap the final step exactly onto t_stop: take the whole remainder
         # whenever the nominal step would overshoot it or leave a sub-percent
@@ -271,6 +288,23 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
         snap_to_stop = remaining <= dt * 1.01
         if snap_to_stop:
             dt = remaining
+        # Breakpoint cap: land exactly on the next stimulus corner instead of
+        # straddling it (same sliver guard as the t_stop snap).  Corners lie
+        # strictly inside the interval, so they take precedence over the snap.
+        # Corners closer than min_dt ahead are ignored: they cannot be
+        # resolved at the step floor, and clamping to them would build a
+        # catastrophically scaled 2/dt (degenerate corner pairs, e.g. a
+        # zero-rise pulse edge, land here).
+        corner_target: float | None = None
+        if stimulus_corners is not None:
+            j = int(np.searchsorted(stimulus_corners, t + max(end_eps, min_dt),
+                                    side="right"))
+            if j < stimulus_corners.size:
+                corner = float(stimulus_corners[j])
+                if corner - t <= dt * 1.01:
+                    dt = corner - t
+                    corner_target = corner
+                    snap_to_stop = False
         if cache is not None and dt != dt_factored:
             # The linear Jacobian entries move only through the 1/dt factor
             # of the G + alpha C combination; with the per-block drift metric
@@ -278,7 +312,12 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
             cache.invalidate()
             dt_factored = dt
         # t + (t_stop - t) is not guaranteed to round to t_stop exactly.
-        t_new = t_stop if snap_to_stop else t + dt
+        if snap_to_stop:
+            t_new = t_stop
+        elif corner_target is not None:
+            t_new = corner_target
+        else:
+            t_new = t + dt
         trap_step = trap_next
         excitation = system.excitation(t_new)
         q_prev = q_vec
@@ -425,7 +464,14 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
                 factor = (options.lte_safety * lte_err ** -lte_exponent
                           if lte_err > 0.0 else options.max_growth)
                 factor = min(options.max_growth, max(options.min_shrink, factor))
-                dt = min(max_dt, max(min_dt, dt * factor))
+                next_dt = dt * factor
+                if corner_target is not None and factor >= 1.0:
+                    # A step shortened only to land on a corner says nothing
+                    # about the controller's own step; resume its preference.
+                    next_dt = max(next_dt, dt_preferred)
+                dt = min(max_dt, max(min_dt, next_dt))
+            elif corner_target is not None:
+                dt = dt_preferred
         elif dt < options.dt:
             # Fixed-step mode: recover the nominal step after halvings.
             dt = min(options.dt, dt * 2.0)

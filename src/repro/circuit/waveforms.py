@@ -53,11 +53,29 @@ class Waveform:
         times = np.asarray(times, dtype=float)
         return np.array([self.value(float(t)) for t in times.ravel()]).reshape(times.shape)
 
+    def breakpoints(self, t_start: float, t_stop: float) -> np.ndarray:
+        """Times in ``[t_start, t_stop]`` where the waveform has a corner.
+
+        A *breakpoint* is a point where the waveform or its derivative is
+        discontinuous — pulse edges, piecewise-linear knots, bit-pattern
+        transitions.  The adaptive transient controller clamps its step so no
+        accepted interval straddles one (stepping clean across a transition
+        lands on a smooth solution and leaves the LTE estimate nothing to
+        reject).  Smooth waveforms return an empty array.
+        """
+        return np.empty(0)
+
     # -- introspection helpers -------------------------------------------------
     @property
     def dc_value(self) -> float:
         """Value at ``t = 0``; used for the DC operating-point solve."""
         return self.value(0.0)
+
+
+def _clip_breakpoints(times, t_start: float, t_stop: float) -> np.ndarray:
+    """Sorted unique corner times restricted to ``[t_start, t_stop]``."""
+    times = np.unique(np.asarray(times, dtype=float))
+    return times[(times >= t_start) & (times <= t_stop)]
 
 
 @dataclass
@@ -100,6 +118,12 @@ class Sine(Waveform):
             2.0 * math.pi * self.frequency * tau + self.phase)
         held = self.offset + self.amplitude * math.sin(self.phase)
         return np.where(times < self.delay, held, running)
+
+    def breakpoints(self, t_start: float, t_stop: float) -> np.ndarray:
+        # Smooth everywhere except the slope kink where the hold ends.
+        if self.delay > 0.0:
+            return _clip_breakpoints([self.delay], t_start, t_stop)
+        return np.empty(0)
 
 
 @dataclass
@@ -144,6 +168,19 @@ class Pulse(Waveform):
             [self.initial, ramp_up, self.pulsed, ramp_down],
             default=self.initial)
 
+    def breakpoints(self, t_start: float, t_stop: float) -> np.ndarray:
+        rise = max(self.rise, 1e-18)
+        fall = max(self.fall, 1e-18)
+        corners = np.array([0.0, rise, rise + self.width,
+                            rise + self.width + fall])
+        first = max(0, int(math.floor((t_start - self.delay) / self.period)))
+        last = int(math.floor((t_stop - self.delay) / self.period))
+        if last < first:
+            return np.empty(0)
+        periods = self.delay + self.period * np.arange(first, last + 1)
+        return _clip_breakpoints((periods[:, None] + corners[None, :]).ravel(),
+                                 t_start, t_stop)
+
 
 @dataclass
 class PiecewiseLinear(Waveform):
@@ -163,6 +200,9 @@ class PiecewiseLinear(Waveform):
 
     def sample(self, times: Sequence[float] | np.ndarray) -> np.ndarray:
         return np.interp(np.asarray(times, dtype=float), self._times, self._values)
+
+    def breakpoints(self, t_start: float, t_stop: float) -> np.ndarray:
+        return _clip_breakpoints(self._times, t_start, t_stop)
 
 
 def prbs_bits(n_bits: int, order: int = 7, seed: int = 0b1010101) -> list[int]:
@@ -262,3 +302,18 @@ class BitPattern(Waveform):
                          current, previous + (current - previous) * blend)
         value = np.where(index >= n, levels[-1], value)
         return np.where(tau <= 0.0, levels[0], value)
+
+    def breakpoints(self, t_start: float, t_stop: float) -> np.ndarray:
+        """Start and end of every raised-cosine transition between bits.
+
+        The curve is smooth inside a transition but its second derivative
+        jumps at both ends; landing the integrator on those times keeps the
+        LTE controller from stepping across an entire bit edge.
+        """
+        levels = self._levels
+        changed = np.flatnonzero(levels[1:] != levels[:-1]) + 1
+        if changed.size == 0:
+            return np.empty(0)
+        starts = self.delay + changed * self._bit_period
+        return _clip_breakpoints(np.concatenate([starts, starts + self._edge]),
+                                 t_start, t_stop)

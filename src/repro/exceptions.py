@@ -67,3 +67,13 @@ class RegistryError(ReproError):
     content hash no longer matches the stored arrays, and lookups of keys
     that are not present in the registry directory.
     """
+
+
+class ServeError(ReproError):
+    """Raised by the model-serving layer (:mod:`repro.serve`).
+
+    Covers rejected requests (oversized payloads, non-finite samples, closed
+    servers, full queues), shard jobs that exhausted their crash-retry
+    budget, and worker-side evaluation failures propagated back to the
+    submitting caller's future.
+    """

@@ -22,16 +22,18 @@ The canonical flow is **compile → register → batch-serve → validate**; see
 the ROADMAP quickstart for a complete example.
 """
 
-from .batch import evaluate_batch, stack_stimuli
+from .batch import evaluate_batch, shard_slices, stack_stimuli
 from .compiled import CompiledModel, compile_model
-from .registry import ModelRegistry, content_hash
+from .registry import ModelHandle, ModelRegistry, content_hash
 from .validate import ValidationReport, ValidationRow, validate_model
 
 __all__ = [
     "CompiledModel",
     "compile_model",
     "evaluate_batch",
+    "shard_slices",
     "stack_stimuli",
+    "ModelHandle",
     "ModelRegistry",
     "content_hash",
     "validate_model",

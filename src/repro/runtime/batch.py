@@ -23,7 +23,31 @@ import numpy as np
 
 from ..exceptions import ModelError
 
-__all__ = ["evaluate_batch", "stack_stimuli"]
+__all__ = ["evaluate_batch", "shard_slices", "stack_stimuli"]
+
+
+def shard_slices(n_rows: int, n_shards: int) -> list[slice]:
+    """Deterministic contiguous partition of a batch axis into shards.
+
+    The canonical split used by the shard pool (:mod:`repro.serve.shards`):
+    rows stay in order, the first ``n_rows % n_shards`` shards take one extra
+    row (``np.array_split`` semantics), and empty trailing shards are
+    dropped.  Because :func:`evaluate_batch` is element-wise along the batch
+    axis and bitwise chunk-invariant, evaluating the slices independently and
+    concatenating reproduces the single-process result bit for bit.
+    """
+    n_rows = int(n_rows)
+    n_shards = max(1, min(int(n_shards), n_rows if n_rows else 1))
+    base, extra = divmod(n_rows, n_shards)
+    slices: list[slice] = []
+    start = 0
+    for i in range(n_shards):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            break
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
 
 
 def stack_stimuli(waveforms, times: np.ndarray) -> np.ndarray:

@@ -116,6 +116,16 @@ class CompiledModel:
         return 1.0 / self.dt
 
     @property
+    def nbytes(self) -> int:
+        """In-memory footprint of the array payload (cache-budget accounting).
+
+        This is what the serving layer's byte-budget LRU cache
+        (:class:`repro.serve.cache.ModelCache`) charges per resident model;
+        the static tables dominate for any realistic ``table_size``.
+        """
+        return int(sum(array.nbytes for array in self.arrays().values()))
+
+    @property
     def error_bound(self) -> float | None:
         """Extraction error bound recorded at compile time (if any)."""
         bound = self.metadata.get("error_bound")

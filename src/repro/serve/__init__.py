@@ -1,0 +1,57 @@
+"""Model-serving layer: sharded micro-batching over the compiled runtime.
+
+:mod:`repro.runtime` made extracted models *fast* — thousands of stimuli in
+one lock-step NumPy call.  This package makes them *servable*: individual
+requests from many callers are coalesced into lock-step batches, sharded
+across warm worker processes, and answered through per-request futures, with
+the registry's integrity guarantees and the batch kernel's bitwise
+determinism carried through end to end.
+
+* :mod:`~repro.serve.policy` — one frozen :class:`ServePolicy` value holds
+  every deployment knob (``max_batch``, ``max_wait``, worker count, cache
+  budget, request limits);
+* :mod:`~repro.serve.batcher` — per-``(model, n_steps)`` coalescing queues
+  closing into :class:`MicroBatch` objects (pure data structure);
+* :mod:`~repro.serve.shards` — :class:`ShardPool` worker processes with warm
+  model caches, crash detection, respawn and deterministic reassembly;
+* :mod:`~repro.serve.cache` — byte-budget LRU :class:`ModelCache` so a
+  server fronts more models than fit in memory;
+* :mod:`~repro.serve.server` — :class:`ModelServer`, the submit → batch →
+  shard → respond front-end;
+* :mod:`~repro.serve.stats` — :class:`ServeStats` latency/throughput
+  snapshots (queue vs end-to-end percentiles).
+
+The canonical flow::
+
+    from repro.serve import ModelServer, ServePolicy
+
+    server = ModelServer(registry, ServePolicy(max_batch=256, max_wait=2e-3,
+                                               n_workers=4))
+    future = server.submit(key, waveform_samples)      # one stimulus
+    output = future.result()                           # that stimulus's output
+    server.close()
+
+See ``examples/serving_cluster.py`` for the end-to-end demo and
+``benchmarks/test_serve_speedup.py`` for the gated throughput/latency
+acceptance run.
+"""
+
+from .batcher import MicroBatch, MicroBatcher, ServeRequest
+from .cache import CacheStats, ModelCache
+from .policy import ServePolicy
+from .server import ModelServer
+from .shards import ShardPool
+from .stats import LatencySummary, ServeStats
+
+__all__ = [
+    "CacheStats",
+    "LatencySummary",
+    "MicroBatch",
+    "MicroBatcher",
+    "ModelCache",
+    "ModelServer",
+    "ServePolicy",
+    "ServeRequest",
+    "ServeStats",
+    "ShardPool",
+]

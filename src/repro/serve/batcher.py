@@ -1,0 +1,149 @@
+"""Micro-batching: coalesce individual stimulus requests into lock-step batches.
+
+Serving traffic arrives one stimulus at a time, but the compiled runtime's
+entire speed advantage comes from advancing *many* stimuli in lock-step
+(:mod:`repro.runtime.batch`).  The :class:`MicroBatcher` bridges the two: it
+holds per-model queues of pending requests and closes them into rectangular
+``(rows, n_steps)`` batches under the standard micro-batching policy — a
+batch dispatches when it reaches ``max_batch`` rows or when its oldest
+request has waited ``max_wait`` seconds.
+
+Requests to the same model can only share a lock-step batch when their
+sample counts match, so the coalescing key is ``(model key, n_steps)``.
+Mixed-length traffic to one model simply forms parallel groups.
+
+This module is a *pure data structure*: no threads, no locks, no clock of
+its own (every method takes ``now``).  The server serialises access under
+its lock and owns the time base, which keeps the coalescing logic trivially
+testable.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MicroBatch", "MicroBatcher", "ServeRequest"]
+
+
+@dataclass
+class ServeRequest:
+    """One submitted stimulus and the future its caller is waiting on."""
+
+    key: str
+    samples: np.ndarray
+    future: Future = field(default_factory=Future)
+    #: Scheduler timestamps (server's monotonic clock): submission and batch
+    #: closure (end of coalescing wait).  Completion is accounted by the
+    #: server at resolve time and never stored per request.
+    t_submit: float = 0.0
+    t_closed: float = 0.0
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.samples.size)
+
+
+@dataclass
+class MicroBatch:
+    """A closed batch: requests frozen in dispatch order."""
+
+    key: str
+    n_steps: int
+    requests: list[ServeRequest]
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def stack(self) -> np.ndarray:
+        """The lock-step input array, one request per row."""
+        return np.vstack([request.samples for request in self.requests])
+
+    def resolve(self, outputs: np.ndarray) -> None:
+        """Fulfil every request's future with its own output row.
+
+        Rows are copied out of the batch array: handing out views would keep
+        the whole ``(rows, n_steps)`` result alive for as long as any single
+        caller held on to its row.
+        """
+        for i, request in enumerate(self.requests):
+            try:
+                request.future.set_result(outputs[i].copy())
+            except InvalidStateError:     # caller cancelled while queued
+                pass
+
+    def fail(self, exc: BaseException) -> None:
+        """Fail every request's future with the same exception."""
+        for request in self.requests:
+            try:
+                request.future.set_exception(exc)
+            except InvalidStateError:
+                pass
+
+
+class _Group:
+    __slots__ = ("requests", "deadline")
+
+    def __init__(self, deadline: float) -> None:
+        self.requests: list[ServeRequest] = []
+        self.deadline = deadline
+
+
+class MicroBatcher:
+    """Per-``(model, n_steps)`` coalescing queues with deadline tracking."""
+
+    def __init__(self, max_batch: int, max_wait: float) -> None:
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait)
+        self._groups: dict[tuple[str, int], _Group] = {}
+
+    # ------------------------------------------------------------------ state
+    def pending(self) -> int:
+        """Requests enqueued but not yet closed into a batch."""
+        return sum(len(group.requests) for group in self._groups.values())
+
+    def next_deadline(self) -> float | None:
+        """Earliest coalescing deadline among open groups (None when empty)."""
+        if not self._groups:
+            return None
+        return min(group.deadline for group in self._groups.values())
+
+    # ------------------------------------------------------------- transitions
+    def add(self, request: ServeRequest, now: float) -> MicroBatch | None:
+        """Enqueue one request; returns a batch if it filled one up.
+
+        The group's deadline is pinned by its *oldest* request — later
+        arrivals never extend another request's wait.
+        """
+        request.t_submit = now
+        group_key = (request.key, request.n_steps)
+        group = self._groups.get(group_key)
+        if group is None:
+            group = self._groups[group_key] = _Group(now + self.max_wait)
+        group.requests.append(request)
+        if len(group.requests) >= self.max_batch:
+            del self._groups[group_key]
+            return self._close(group_key, group.requests, now)
+        return None
+
+    def due(self, now: float) -> list[MicroBatch]:
+        """Close every group whose coalescing deadline has passed."""
+        expired = [key for key, group in self._groups.items()
+                   if group.deadline <= now]
+        return [self._close(key, self._groups.pop(key).requests, now)
+                for key in expired]
+
+    def drain(self, now: float) -> list[MicroBatch]:
+        """Close everything immediately (flush / shutdown path)."""
+        groups, self._groups = self._groups, {}
+        return [self._close(key, group.requests, now)
+                for key, group in groups.items()]
+
+    def _close(self, group_key: tuple[str, int],
+               requests: list[ServeRequest], now: float) -> MicroBatch:
+        for request in requests:
+            request.t_closed = now
+        key, n_steps = group_key
+        return MicroBatch(key=key, n_steps=n_steps, requests=requests)

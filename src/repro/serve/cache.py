@@ -1,0 +1,99 @@
+"""Byte-budget LRU cache of loaded compiled models.
+
+One server instance (and each shard worker) fronts far more registered
+models than fit in memory: models are loaded from the registry on first use
+and evicted least-recently-used once the resident set exceeds the byte
+budget.  Charging real array bytes (:attr:`CompiledModel.nbytes
+<repro.runtime.compiled.CompiledModel.nbytes>`) rather than an entry count
+makes the budget meaningful when model sizes vary by orders of magnitude
+(table sizes, branch counts).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["CacheStats", "ModelCache"]
+
+
+class CacheStats:
+    """Mutable counters of one cache's lifetime behaviour."""
+
+    __slots__ = ("hits", "misses", "evictions", "uncached")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Loads that bypassed the cache because a single model exceeded the
+        #: whole budget (served anyway, never resident).
+        self.uncached = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "uncached": self.uncached}
+
+
+class ModelCache:
+    """LRU cache keyed by model key, bounded by total model bytes.
+
+    ``get_or_load(key, loader)`` is the single entry point: it returns the
+    resident model or calls ``loader()`` (typically
+    :meth:`ModelHandle.load <repro.runtime.registry.ModelHandle.load>`),
+    admits the result and evicts from the least-recently-used end until the
+    budget holds again.  A model larger than the entire budget is returned
+    but never admitted — serving it must not flush every other warm model.
+    """
+
+    def __init__(self, max_bytes: int) -> None:
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[str, object] = OrderedDict()
+        self._nbytes: dict[str, int] = {}
+        self.current_bytes = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def keys(self) -> list[str]:
+        """Resident keys, least-recently-used first."""
+        return list(self._entries)
+
+    def get_or_load(self, key: str, loader: Callable[[], object]):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        model = loader()
+        nbytes = int(getattr(model, "nbytes", 0))
+        if self.max_bytes <= 0 or nbytes > self.max_bytes:
+            self.stats.uncached += 1
+            return model
+        self._entries[key] = model
+        self._nbytes[key] = nbytes
+        self.current_bytes += nbytes
+        while self.current_bytes > self.max_bytes and len(self._entries) > 1:
+            self._evict_lru()
+        return model
+
+    def _evict_lru(self) -> None:
+        evicted, _ = self._entries.popitem(last=False)
+        self.current_bytes -= self._nbytes.pop(evicted)
+        self.stats.evictions += 1
+
+    def drop(self, key: str) -> None:
+        """Forget one entry (no-op when absent)."""
+        if self._entries.pop(key, None) is not None:
+            self.current_bytes -= self._nbytes.pop(key)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._nbytes.clear()
+        self.current_bytes = 0

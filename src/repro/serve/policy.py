@@ -1,0 +1,67 @@
+"""Serving policy: the knobs that shape batching, sharding and caching.
+
+One frozen :class:`ServePolicy` value parameterises the whole serving stack —
+the micro-batching scheduler (:mod:`repro.serve.batcher`), the shard pool
+(:mod:`repro.serve.shards`) and the model cache (:mod:`repro.serve.cache`) —
+so a deployment is described by a single reviewable object instead of knobs
+scattered across constructors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ServeError
+
+__all__ = ["ServePolicy"]
+
+
+@dataclass(frozen=True)
+class ServePolicy:
+    """Configuration of a :class:`~repro.serve.server.ModelServer`.
+
+    The two batching knobs trade latency for throughput exactly as in any
+    micro-batching server: a request is dispatched as soon as its coalesced
+    batch reaches ``max_batch`` rows, or when the oldest request in the batch
+    has waited ``max_wait`` seconds, whichever comes first.
+    """
+
+    #: Rows per coalesced lock-step batch; a full batch dispatches
+    #: immediately.
+    max_batch: int = 256
+    #: Longest time (seconds) a request may wait for co-batching before its
+    #: partial batch is dispatched anyway.
+    max_wait: float = 2e-3
+    #: Per-request sample limit.  Oversized requests are rejected at submit
+    #: time with a :class:`~repro.exceptions.ServeError` naming this limit —
+    #: one runaway client must not be able to wedge a whole batch.
+    max_request_samples: int = 1 << 20
+    #: Upper bound on in-flight requests (accepted but not yet answered,
+    #: whether still coalescing, queued as a closed batch, or executing);
+    #: submissions beyond it are rejected, not silently queued.
+    max_queue_depth: int = 100_000
+    #: Worker processes in the shard pool.  ``0`` evaluates batches inline in
+    #: the dispatcher thread — the single-process reference configuration.
+    n_workers: int = 0
+    #: Shard-job retries after a worker crash before the affected requests
+    #: fail (cleanly, with a ServeError — never a hang).
+    max_retries: int = 2
+    #: Byte budget of each warm-model LRU cache (the dispatcher holds one;
+    #: every shard worker holds its own).
+    cache_bytes: int = 256 << 20
+
+    def validate(self) -> None:
+        if self.max_batch < 1:
+            raise ServeError("ServePolicy.max_batch must be at least 1")
+        if self.max_wait < 0.0:
+            raise ServeError("ServePolicy.max_wait must be non-negative")
+        if self.max_request_samples < 1:
+            raise ServeError("ServePolicy.max_request_samples must be at least 1")
+        if self.max_queue_depth < 1:
+            raise ServeError("ServePolicy.max_queue_depth must be at least 1")
+        if self.n_workers < 0:
+            raise ServeError("ServePolicy.n_workers must be non-negative")
+        if self.max_retries < 0:
+            raise ServeError("ServePolicy.max_retries must be non-negative")
+        if self.cache_bytes < 0:
+            raise ServeError("ServePolicy.cache_bytes must be non-negative")

@@ -1,0 +1,263 @@
+"""The serving front-end: submit → coalesce → shard → respond.
+
+:class:`ModelServer` accepts individual stimulus requests (model key +
+waveform sample array) and returns a future per request.  A dispatcher
+thread closes requests into lock-step micro-batches under the
+``max_batch`` / ``max_wait`` policy (:mod:`repro.serve.batcher`) and executes
+each batch either inline (``n_workers == 0``) or across the shard pool
+(:mod:`repro.serve.shards`).  Models come from a
+:class:`~repro.runtime.registry.ModelRegistry` and stay warm in byte-budget
+LRU caches, so one server instance can front far more registered models than
+fit in memory.
+
+Request validation happens at **submit time**, in the caller's thread: an
+oversized, empty, non-finite or unknown-key request is rejected with a
+:class:`~repro.exceptions.ServeError` naming the violated limit before it
+can touch a batch — one bad request must never poison the lock-step batch it
+would have joined.
+
+Every guarantee the batch runtime gives carries through: the outputs a
+future resolves to are bitwise-equal to evaluating the same rows through a
+single-process :meth:`CompiledModel.evaluate
+<repro.runtime.compiled.CompiledModel.evaluate>`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from pathlib import Path
+
+import numpy as np
+
+from ..exceptions import ServeError
+from ..runtime.registry import ModelRegistry
+from .batcher import MicroBatch, MicroBatcher, ServeRequest
+from .cache import ModelCache
+from .policy import ServePolicy
+from .shards import ShardPool
+from .stats import LatencySummary, ServeStats
+
+__all__ = ["ModelServer"]
+
+#: Most recent per-request latency samples kept for :meth:`ModelServer.stats`
+#: percentiles; a long-running server must not grow its accounting without
+#: bound alongside its traffic.
+LATENCY_WINDOW = 100_000
+
+
+class ModelServer:
+    """Sharded micro-batching server over a model registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.runtime.registry.ModelRegistry` (or its root
+        directory) holding the compiled models to serve.
+    policy:
+        Batching / sharding / caching configuration.
+    fault_injection:
+        Test instrumentation forwarded to the shard pool (crash-once keys).
+    """
+
+    def __init__(self, registry: ModelRegistry | str | Path,
+                 policy: ServePolicy | None = None,
+                 fault_injection=None) -> None:
+        self.policy = policy or ServePolicy()
+        self.policy.validate()
+        self.registry = (registry if isinstance(registry, ModelRegistry)
+                         else ModelRegistry(registry))
+        self._cache = ModelCache(self.policy.cache_bytes)
+        self._pool: ShardPool | None = None
+        if self.policy.n_workers > 0:
+            self._pool = ShardPool(
+                self.registry.root, self.policy.n_workers,
+                cache_bytes=self.policy.cache_bytes,
+                max_retries=self.policy.max_retries,
+                fault_injection=fault_injection)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._batcher = MicroBatcher(self.policy.max_batch, self.policy.max_wait)
+        self._ready: deque[MicroBatch] = deque()
+        self._closed = False
+        # Counters and windowed latency populations (guarded by _lock).
+        self._n_submitted = 0
+        self._n_completed = 0
+        self._n_failed = 0
+        self._n_batches = 0
+        self._n_rows_batched = 0
+        #: Requests accepted but not yet resolved/failed — the real backlog
+        #: the ``max_queue_depth`` limit guards (batcher queues AND closed
+        #: batches waiting on / inside the dispatcher).
+        self._n_inflight = 0
+        self._queue_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._e2e_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._dispatcher = threading.Thread(
+            target=self._run, name="repro-serve-dispatcher", daemon=True)
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------- submission
+    def submit(self, key: str, samples) -> Future:
+        """Enqueue one stimulus for model ``key``; returns its future.
+
+        ``samples`` is the 1-D waveform sampled on the model's ``dt`` grid.
+        The future resolves to the model's 1-D output row (or raises
+        :class:`~repro.exceptions.ServeError` on failure).
+        """
+        samples = np.asarray(samples, dtype=float)
+        if samples.ndim != 1 or samples.size < 1:
+            raise ServeError(
+                f"request samples must be a non-empty 1-D array; got shape "
+                f"{samples.shape}")
+        if samples.size > self.policy.max_request_samples:
+            raise ServeError(
+                f"request of {samples.size} samples exceeds the per-request "
+                f"limit ServePolicy.max_request_samples="
+                f"{self.policy.max_request_samples}")
+        if not np.isfinite(samples).all():
+            bad = int(np.flatnonzero(~np.isfinite(samples))[0])
+            raise ServeError(
+                f"request contains a non-finite sample at step {bad}; "
+                "rejected before batching (it would poison its lock-step "
+                "batch)")
+        if key not in self.registry:
+            raise ServeError(
+                f"unknown model key {key[:12]!r}... — not in "
+                f"{self.registry.describe()}")
+        request = ServeRequest(key=key, samples=samples)
+        with self._wakeup:
+            if self._closed:
+                raise ServeError("server is closed")
+            if self._n_inflight >= self.policy.max_queue_depth:
+                raise ServeError(
+                    f"scheduler queue is full: ServePolicy.max_queue_depth="
+                    f"{self.policy.max_queue_depth} requests already pending")
+            self._n_submitted += 1
+            self._n_inflight += 1
+            now = time.monotonic()
+            batch = self._batcher.add(request, now)
+            if batch is not None:
+                self._ready.append(batch)
+            # Close overdue groups from the submit path too: the dispatcher
+            # may be deep in a batch evaluation, and the max_wait bound must
+            # hold as long as *any* traffic is flowing.
+            self._ready.extend(self._batcher.due(now))
+            self._wakeup.notify()
+        return request.future
+
+    def serve(self, key: str, batch) -> np.ndarray:
+        """Blocking convenience: submit every row of ``(rows, n_steps)`` and
+        gather the outputs in order."""
+        batch = np.asarray(batch, dtype=float)
+        if batch.ndim == 1:
+            batch = batch[None, :]
+        futures = [self.submit(key, row) for row in batch]
+        return np.vstack([future.result() for future in futures])
+
+    # -------------------------------------------------------------- dispatcher
+    def _run(self) -> None:
+        while True:
+            with self._wakeup:
+                batch = None
+                while batch is None:
+                    if self._ready:
+                        batch = self._ready.popleft()
+                        break
+                    if self._closed and self._batcher.pending() == 0:
+                        return
+                    now = time.monotonic()
+                    due = self._batcher.due(now)
+                    if due:
+                        self._ready.extend(due)
+                        continue
+                    deadline = self._batcher.next_deadline()
+                    timeout = None if deadline is None else max(0.0, deadline - now)
+                    self._wakeup.wait(timeout)
+            self._execute(batch)
+
+    def _execute(self, batch: MicroBatch) -> None:
+        try:
+            inputs = batch.stack()
+            if self._pool is not None:
+                outputs = self._pool.evaluate(batch.key, inputs)
+            else:
+                model = self._cache.get_or_load(
+                    batch.key, lambda: self.registry.load(batch.key))
+                outputs = model.evaluate(inputs)
+            failure = None
+        except Exception as exc:   # noqa: BLE001 - must resolve the futures
+            failure = (exc if isinstance(exc, ServeError)
+                       else ServeError(f"batch evaluation failed: {exc!r}"))
+        now = time.monotonic()
+        # Account first, then wake the callers: a caller returning from
+        # future.result() must find its own request already counted when it
+        # immediately asks for stats().
+        with self._lock:
+            self._n_batches += 1
+            self._n_rows_batched += len(batch)
+            for request in batch.requests:
+                self._queue_latencies.append(request.t_closed - request.t_submit)
+                self._e2e_latencies.append(now - request.t_submit)
+            self._n_inflight -= len(batch)
+            if failure is None:
+                self._n_completed += len(batch)
+            else:
+                self._n_failed += len(batch)
+        if failure is None:
+            batch.resolve(outputs)
+        else:
+            batch.fail(failure)
+
+    # ----------------------------------------------------------------- control
+    def flush(self) -> None:
+        """Close all partially-filled batches immediately (no waiting)."""
+        with self._wakeup:
+            self._ready.extend(self._batcher.drain(time.monotonic()))
+            self._wakeup.notify()
+
+    def close(self, timeout: float | None = None) -> None:
+        """Drain pending work, stop the dispatcher and the shard pool.
+
+        Every already-submitted future is resolved (or failed) before the
+        dispatcher exits; submissions after ``close`` raise.
+        """
+        with self._wakeup:
+            if not self._closed:
+                self._closed = True
+                self._ready.extend(self._batcher.drain(time.monotonic()))
+            self._wakeup.notify()
+        self._dispatcher.join(timeout)
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "ModelServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- diagnostics
+    def stats(self) -> ServeStats:
+        """Snapshot of counters and latency percentiles.
+
+        Counters (and the mean batch size) are lifetime totals; the latency
+        percentiles summarise the most recent :data:`LATENCY_WINDOW`
+        samples.
+        """
+        with self._lock:
+            queue = list(self._queue_latencies)
+            e2e = list(self._e2e_latencies)
+            submitted, completed = self._n_submitted, self._n_completed
+            failed, pending = self._n_failed, self._n_inflight
+            n_batches, n_rows = self._n_batches, self._n_rows_batched
+        return ServeStats(
+            n_submitted=submitted, n_completed=completed, n_failed=failed,
+            n_pending=pending, n_batches=n_batches,
+            mean_batch_size=(n_rows / n_batches) if n_batches else 0.0,
+            queue_latency=LatencySummary.of(queue),
+            e2e_latency=LatencySummary.of(e2e),
+            cache=self._cache.stats.as_dict(),
+            pool=self._pool.stats() if self._pool is not None else {},
+        )

@@ -1,0 +1,307 @@
+"""Shard pool: partition lock-step batches across warm worker processes.
+
+Each worker process holds its own byte-budget LRU cache of compiled models,
+loaded once from the registry (integrity-checked via
+:class:`~repro.runtime.registry.ModelHandle`) and kept warm across batches —
+only the stimulus rows and result rows cross the process boundary per batch.
+
+Sharding is the deterministic contiguous partition of
+:func:`repro.runtime.batch.shard_slices`; because the batched kernel is
+element-wise along the batch axis and bitwise chunk-invariant, reassembling
+the shard results into the original row order reproduces the single-process
+``evaluate`` bit for bit.
+
+Failure model: a worker that dies mid-batch (OOM-killed, segfaulted,
+``kill -9``) is detected through its broken pipe / liveness check, respawned
+with a cold cache, and the affected shard is retried up to ``max_retries``
+times.  Requests beyond the retry budget fail with a
+:class:`~repro.exceptions.ServeError`; they never hang.  Worker-side Python
+exceptions (corrupt registry entry, bad key) are not crashes: they propagate
+back once, immediately, without a retry.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import traceback
+
+import numpy as np
+
+from ..exceptions import ServeError
+from ..runtime.batch import shard_slices
+from ..runtime.registry import ModelHandle
+from .cache import ModelCache
+
+__all__ = ["ShardPool"]
+
+#: Seconds between liveness checks while waiting on a worker's result.
+_POLL_INTERVAL = 0.05
+
+
+def _worker_main(conn, registry_root: str, cache_bytes: int,
+                 fault_keys: frozenset[str]) -> None:
+    """Worker loop: receive ``(job_id, key, rows)``, evaluate, send back.
+
+    ``fault_keys`` is crash-injection instrumentation for the failure-path
+    tests: serving a listed key terminates the process the way a segfault
+    would (``os._exit``, no cleanup, no reply).  Respawned workers never
+    inherit injections, which gives deterministic crash-once semantics.
+    """
+    cache = ModelCache(cache_bytes)
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            conn.close()
+            return
+        job_id, key, rows = message
+        if key in fault_keys:
+            os._exit(43)
+        try:
+            model = cache.get_or_load(key, ModelHandle(registry_root, key).load)
+            outputs = model.evaluate(rows)
+            conn.send((job_id, True, outputs))
+        except Exception:   # noqa: BLE001 - workers must report, never crash
+            conn.send((job_id, False, traceback.format_exc()))
+
+
+class _Worker:
+    __slots__ = ("process", "conn")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+
+
+class ShardPool:
+    """Fixed-size pool of model-serving worker processes.
+
+    Parameters
+    ----------
+    registry_root:
+        Directory of the :class:`~repro.runtime.registry.ModelRegistry` the
+        workers load models from.
+    n_workers:
+        Worker process count (at least 1).
+    cache_bytes:
+        Byte budget of each worker's warm-model LRU cache.
+    max_retries:
+        Crash-retries per shard job before the batch fails.
+    mp_context:
+        Optional :mod:`multiprocessing` start-method name (platform default
+        when omitted; ``fork`` on Linux keeps worker start-up cheap).
+    fault_injection:
+        Test instrumentation: model keys whose service crashes the first
+        worker that picks them up (see :func:`_worker_main`).
+    """
+
+    def __init__(self, registry_root, n_workers: int, cache_bytes: int = 256 << 20,
+                 max_retries: int = 2, mp_context: str | None = None,
+                 fault_injection=None) -> None:
+        if n_workers < 1:
+            raise ServeError("ShardPool needs at least one worker")
+        self.registry_root = str(registry_root)
+        self.cache_bytes = int(cache_bytes)
+        self.max_retries = int(max_retries)
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._fault_keys = frozenset(fault_injection or ())
+        #: One batch at a time: the reply-matching protocol assumes a single
+        #: reader per pipe, so concurrent evaluate() calls serialise here.
+        self._evaluate_lock = threading.Lock()
+        self.respawns = 0
+        self.retried_jobs = 0
+        self._closed = False
+        #: Monotonic job id; replies are matched against it so a batch
+        #: abandoned mid-collection (crash, worker exception) can never leak
+        #: its stale replies into the next batch's results.
+        self._sequence = 0
+        self._workers: list[_Worker] = [
+            self._spawn(self._fault_keys) for _ in range(int(n_workers))]
+
+    @property
+    def n_workers(self) -> int:
+        return len(self._workers)
+
+    # ------------------------------------------------------------ process mgmt
+    def _spawn(self, fault_keys: frozenset[str]) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.registry_root, self.cache_bytes, fault_keys),
+            daemon=True)
+        process.start()
+        child_conn.close()      # parent's copy; the worker holds the live end
+        return _Worker(process, parent_conn)
+
+    def _respawn(self, index: int) -> None:
+        """Replace a dead worker with a fresh one (cold cache, no faults)."""
+        worker = self._workers[index]
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(timeout=5.0)
+        self._workers[index] = self._spawn(frozenset())
+        self.respawns += 1
+
+    # --------------------------------------------------------------- transport
+    def _send(self, index: int, payload) -> bool:
+        worker = self._workers[index]
+        if not worker.process.is_alive():
+            return False
+        try:
+            worker.conn.send(payload)
+            return True
+        except (BrokenPipeError, OSError):
+            return False
+
+    def _recv(self, index: int, expect_id: int):
+        """The reply for job ``expect_id``, or ``None`` if the worker died.
+
+        Stale replies from previously abandoned batches are discarded.
+        """
+        worker = self._workers[index]
+        while True:
+            try:
+                if worker.conn.poll(_POLL_INTERVAL):
+                    reply = worker.conn.recv()
+                    if reply[0] == expect_id:
+                        return reply
+                    continue        # stale reply from an abandoned batch
+            except Exception:   # noqa: BLE001 - EOF/partial pickle = crash
+                return None
+            if not worker.process.is_alive():
+                # Drain a reply that raced the death, then report the crash.
+                try:
+                    while worker.conn.poll(0):
+                        reply = worker.conn.recv()
+                        if reply[0] == expect_id:
+                            return reply
+                except Exception:   # noqa: BLE001
+                    pass
+                return None
+
+    # --------------------------------------------------------------- execution
+    def evaluate(self, key: str, inputs: np.ndarray) -> np.ndarray:
+        """Evaluate a lock-step batch, sharded across the pool.
+
+        Returns outputs in the input's row order, bitwise-equal to a
+        single-process :meth:`CompiledModel.evaluate
+        <repro.runtime.compiled.CompiledModel.evaluate>` of the same array.
+
+        Thread-safe by serialisation: the pool runs one batch at a time
+        (each pipe has exactly one reader), so concurrent callers queue on
+        an internal lock rather than corrupting each other's replies.
+        """
+        if self._closed:
+            raise ServeError("shard pool is closed")
+        inputs = np.asarray(inputs, dtype=float)
+        if inputs.ndim != 2 or inputs.shape[0] < 1:
+            raise ServeError(f"shard batch must be (rows, n_steps); got {inputs.shape}")
+        with self._evaluate_lock:
+            return self._evaluate_locked(inputs, key)
+
+    def _evaluate_locked(self, inputs: np.ndarray, key: str) -> np.ndarray:
+        slices = shard_slices(inputs.shape[0], self.n_workers)
+        outputs = np.empty_like(inputs)
+        pending = list(range(len(slices)))
+        crashes = [0] * len(slices)
+        while pending:
+            dispatched: list[tuple[int, int]] = []
+            spawn_failure: int | None = None
+            for job in pending:
+                job_id = self._dispatch(job, key, inputs[slices[job]])
+                if job_id is None:
+                    spawn_failure = job
+                    break
+                dispatched.append((job, job_id))
+            # Collect EVERY dispatched reply before acting on any failure:
+            # abandoning an in-flight job would leave its worker blocked in a
+            # send larger than the pipe buffer, and the next dispatch to that
+            # worker would then deadlock against it.  Between rounds every
+            # worker is idle and every pipe drained.
+            pending = []
+            failure: ServeError | None = None
+            for job, job_id in dispatched:
+                reply = self._recv(job, job_id)
+                if reply is None:           # crash: respawn, maybe retry
+                    crashes[job] += 1
+                    self._respawn(job)
+                    if crashes[job] > self.max_retries:
+                        failure = failure or ServeError(
+                            f"shard job for rows {slices[job]} of model "
+                            f"{key[:12]}... crashed {crashes[job]} time(s); "
+                            f"retry budget max_retries={self.max_retries} "
+                            "exhausted")
+                        continue
+                    self.retried_jobs += 1
+                    pending.append(job)
+                    continue
+                _, ok, payload = reply
+                if not ok:                  # worker-side exception: no retry
+                    failure = failure or ServeError(
+                        f"shard worker failed to evaluate model {key[:12]}...:"
+                        f"\n{payload}")
+                    continue
+                outputs[slices[job]] = payload
+            if spawn_failure is not None:
+                failure = failure or ServeError(
+                    f"shard worker for rows {slices[spawn_failure]} of model "
+                    f"{key[:12]}... could not be (re)started")
+            if failure is not None:
+                raise failure
+        return outputs
+
+    # ----------------------------------------------------------------- control
+    def _dispatch(self, worker_index: int, key: str, rows: np.ndarray) -> int | None:
+        """Send one job (respawning a dead worker once); returns its job id."""
+        self._sequence += 1
+        job_id = self._sequence
+        if self._send(worker_index, (job_id, key, rows)):
+            return job_id
+        self._respawn(worker_index)
+        if self._send(worker_index, (job_id, key, rows)):
+            return job_id
+        return None
+
+    def stats(self) -> dict:
+        return {"n_workers": self.n_workers, "respawns": self.respawns,
+                "retried_jobs": self.retried_jobs}
+
+    def close(self) -> None:
+        """Shut every worker down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:   # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:   # noqa: BLE001
+            pass

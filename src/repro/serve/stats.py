@@ -1,0 +1,87 @@
+"""Latency / throughput accounting of a running model server.
+
+The server records two timestamps per request on its monotonic clock —
+submission and batch closure — and takes the completion time when it
+resolves the batch.  Their differences separate the two costs a
+micro-batching deployment tunes against each other:
+
+* **queue (coalescing) latency** ``t_closed - t_submit``: the wait the
+  batching policy *added* to the request; bounded by ``max_wait`` for every
+  deadline-flushed batch and ~0 for requests that completed a full batch;
+* **end-to-end latency** ``t_done - t_submit``: what the caller observed,
+  including evaluation and any crash-retry stalls.
+
+:meth:`ModelServer.stats <repro.serve.server.ModelServer.stats>` snapshots
+these into a :class:`ServeStats` value with percentile summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencySummary", "ServeStats"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile summary of one latency population (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, samples) -> "LatencySummary":
+        values = np.asarray(samples, dtype=float)
+        if values.size == 0:
+            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
+        p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
+        return cls(count=int(values.size), mean=float(values.mean()),
+                   p50=float(p50), p90=float(p90), p99=float(p99),
+                   max=float(values.max()))
+
+    def as_dict(self) -> dict:
+        return {"count": self.count, "mean_s": self.mean, "p50_s": self.p50,
+                "p90_s": self.p90, "p99_s": self.p99, "max_s": self.max}
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """Point-in-time snapshot of a server's counters and latencies."""
+
+    n_submitted: int
+    n_completed: int
+    n_failed: int
+    n_pending: int
+    n_batches: int
+    mean_batch_size: float
+    queue_latency: LatencySummary
+    e2e_latency: LatencySummary
+    cache: dict = field(default_factory=dict)
+    pool: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "n_submitted": self.n_submitted,
+            "n_completed": self.n_completed,
+            "n_failed": self.n_failed,
+            "n_pending": self.n_pending,
+            "n_batches": self.n_batches,
+            "mean_batch_size": self.mean_batch_size,
+            "queue_latency": self.queue_latency.as_dict(),
+            "e2e_latency": self.e2e_latency.as_dict(),
+            "cache": dict(self.cache),
+            "pool": dict(self.pool),
+        }
+
+    def describe(self) -> str:
+        return (f"served {self.n_completed}/{self.n_submitted} request(s) "
+                f"({self.n_failed} failed, {self.n_pending} pending) in "
+                f"{self.n_batches} batch(es) of {self.mean_batch_size:.1f} "
+                f"rows avg; queue p50 {self.queue_latency.p50 * 1e3:.2f} ms, "
+                f"e2e p50 {self.e2e_latency.p50 * 1e3:.2f} ms")

@@ -13,7 +13,7 @@ import pytest
 import repro.circuit.transient as transient_mod
 from repro.circuit import Sine, TransientOptions, transient_analysis
 from repro.circuit.newton import NewtonResult
-from repro.circuit.waveforms import BitPattern, prbs_bits
+from repro.circuit.waveforms import BitPattern, Pulse, prbs_bits
 from repro.circuits import build_diode_limiter, build_output_buffer, build_rc_ladder
 from repro.circuits.buffer import buffer_training_waveform
 from repro.exceptions import ConvergenceError
@@ -106,6 +106,81 @@ class TestAdaptiveAccuracy:
         assert adaptive.accepted_steps < fine.accepted_steps
         # BE is first order: compare against its own fine grid, looser bound.
         assert _rel_rmse(fine, adaptive) < 5e-3
+
+    def test_breakpoints_hit_exactly_on_pulse_corners(self):
+        """Accepted steps never straddle an input transition (ROADMAP item)."""
+        wave = Pulse(initial=0.3, pulsed=0.8, delay=5e-8, rise=2e-8, fall=2e-8,
+                     width=2e-7, period=5e-7)
+        system = build_rc_ladder(3, input_waveform=wave).build()
+        options = TransientOptions(t_stop=1e-6, dt=1e-9, adaptive=True,
+                                   max_dt_factor=1000.0)
+        result = transient_analysis(system, options)
+        corners = system.waveform_breakpoints(0.0, options.t_stop)
+        assert corners.size == 8                    # 4 corners x 2 periods
+        for corner in corners:
+            assert np.min(np.abs(result.times - corner)) == 0.0, (
+                f"corner at {corner:.3e}s straddled")
+
+    def test_breakpoint_cap_catches_what_max_dt_alone_misses(self):
+        """With a huge max_dt_factor the controller would sail across a
+        pulse; the breakpoint cap forces a landing and restores accuracy."""
+        wave = Pulse(initial=0.3, pulsed=0.8, delay=2e-7, rise=1e-8, fall=1e-8,
+                     width=5e-8, period=1e-3)       # one isolated pulse
+        system = build_rc_ladder(3, input_waveform=wave).build()
+        common = dict(t_stop=5e-7, dt=1e-9, adaptive=True, max_dt_factor=1000.0)
+        fine = transient_analysis(system, TransientOptions(t_stop=5e-7, dt=2.5e-10))
+        capped = transient_analysis(system, TransientOptions(**common))
+        blind = transient_analysis(system, TransientOptions(breakpoints=False,
+                                                            **common))
+        corners = system.waveform_breakpoints(0.0, 5e-7)
+        hit = [np.min(np.abs(capped.times - c)) == 0.0 for c in corners]
+        missed = [np.min(np.abs(blind.times - c)) > 0.0 for c in corners]
+        assert all(hit)
+        assert any(missed)                          # the cap did real work
+        # Within ~the controller tolerance despite 1000x steps on the flats.
+        assert _rel_rmse(fine, capped) < 3e-3
+
+    def test_bitpattern_transitions_are_landed_on(self):
+        wave = BitPattern(bits=[0, 1, 0, 0, 1, 1, 0, 1], bit_rate=1e8,
+                          low=-0.5, high=0.5)
+        system = build_diode_limiter(input_waveform=wave).build()
+        options = TransientOptions(t_stop=8e-8, dt=1e-10, adaptive=True,
+                                   max_dt_factor=200.0)
+        result = transient_analysis(system, options)
+        corners = system.waveform_breakpoints(0.0, options.t_stop)
+        assert corners.size > 0
+        for corner in corners:
+            assert np.min(np.abs(result.times - corner)) == 0.0
+
+    def test_degenerate_corner_pairs_do_not_crash_the_controller(self):
+        """A zero-rise pulse emits corner pairs 1e-18 apart; corners closer
+        than min_dt ahead must be skipped, not clamped to (a ~1e-18 step
+        would scale the Jacobian by 2/dt ~ 1e18 and abort the run)."""
+        wave = Pulse(initial=0.3, pulsed=0.8, delay=1e-7, rise=0.0, fall=0.0,
+                     width=1e-7, period=1e-3)
+        system = build_rc_ladder(2, input_waveform=wave).build()
+        result = transient_analysis(system, TransientOptions(
+            t_stop=4e-7, dt=1e-9, adaptive=True, max_dt_factor=100.0))
+        assert result.times[-1] == 4e-7
+        # Each degenerate pair is resolved to within its own (unresolvable)
+        # 1e-18 width: one member is landed on exactly, its twin is skipped.
+        corners = system.waveform_breakpoints(0.0, 4e-7)
+        assert corners.size > 0
+        for corner in corners:
+            assert np.min(np.abs(result.times - corner)) <= 1e-17
+
+    def test_fixed_step_path_ignores_breakpoints(self):
+        """The fixed grid is bitwise what it always was — the cap is
+        adaptive-only."""
+        wave = Pulse(initial=0.3, pulsed=0.8, delay=5.5e-8, rise=1e-8,
+                     fall=1e-8, width=2e-8, period=2e-7)
+        system = build_rc_ladder(2, input_waveform=wave).build()
+        result = transient_analysis(system, TransientOptions(t_stop=4e-7, dt=1e-8))
+        blind = transient_analysis(system, TransientOptions(t_stop=4e-7, dt=1e-8,
+                                                            breakpoints=False))
+        np.testing.assert_array_equal(result.times, blind.times)
+        np.testing.assert_allclose(np.diff(result.times), np.full(40, 1e-8),
+                                   rtol=1e-6)
 
     def test_option_validation(self):
         with pytest.raises(ValueError, match="LTE tolerance"):

@@ -18,12 +18,14 @@ from repro.rvf.hammerstein import HammersteinBranch, HammersteinModel
 from repro.rvf.residues import PartialFractionFunction
 from repro.runtime import (
     CompiledModel,
+    ModelHandle,
     ModelRegistry,
     compile_model,
     content_hash,
     stack_stimuli,
     validate_model,
 )
+from repro.runtime.registry import INDEX_NAME
 from repro.sweep import SweepOptions, run_sweep, waveform_sweep
 from repro.tft.state_estimator import StateEstimator
 
@@ -240,6 +242,36 @@ class TestRegistry:
         with pytest.raises(RegistryError):
             registry.remove(key)
 
+    def test_identical_resave_leaves_files_untouched(self, compiled, tmp_path):
+        """Acceptance: idempotent save — same content hash, zero writes."""
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled, provenance={"origin": "first"})
+        paths = [tmp_path / f"{key}.npz", tmp_path / f"{key}.json",
+                 tmp_path / INDEX_NAME]
+        before = [(p.stat().st_mtime_ns, p.read_bytes()) for p in paths]
+        assert registry.save(compiled) == key                  # no provenance
+        assert registry.save(compiled,
+                             provenance={"origin": "first"}) == key  # same keys
+        after = [(p.stat().st_mtime_ns, p.read_bytes()) for p in paths]
+        assert before == after
+        # New provenance keys do rewrite the metadata record (merged).
+        registry.save(compiled, provenance={"promoted": True})
+        assert (tmp_path / f"{key}.json").stat().st_mtime_ns != before[1][0]
+        assert registry.provenance(key) == {"origin": "first", "promoted": True}
+
+    def test_changed_metadata_under_same_key_is_not_discarded(self, tmp_path):
+        """content_hash excludes metadata, so a re-save with new metadata
+        must rewrite the record — idempotency is record-wide, not
+        provenance-only."""
+        registry = ModelRegistry(tmp_path)
+        model_v1 = compile_model(synthetic_model(), dt=1e-9,
+                                 input_range=(0.0, 1.0), metadata={"note": "v1"})
+        model_v2 = compile_model(synthetic_model(), dt=1e-9,
+                                 input_range=(0.0, 1.0), metadata={"note": "v2"})
+        key = registry.save(model_v1)
+        assert registry.save(model_v2) == key       # same content hash
+        assert registry.load(key).metadata["note"] == "v2"
+
     def test_fresh_process_reproduces_identical_outputs(self, compiled, tmp_path):
         """Acceptance: save here, load in a new interpreter, bitwise match."""
         registry = ModelRegistry(tmp_path)
@@ -262,6 +294,143 @@ class TestRegistry:
                        env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"})
         served = np.load(tmp_path / "served.npy")
         np.testing.assert_array_equal(served, expected)
+
+
+class TestRegistryIndex:
+    """The persistent index must accelerate keys() without ever lying."""
+
+    def test_index_file_created_and_keys_served_from_it(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        assert (tmp_path / INDEX_NAME).exists()
+        assert registry.keys() == [key]
+        assert key in registry and len(registry) == 1
+        # Prove keys() is answered by the index, not a directory scan: plant
+        # a bogus entry through the registry's own (freshness-stamping)
+        # index writer and observe it echoed back verbatim.
+        planted = dict(registry._ensure_index())
+        planted["entries"] = {**planted["entries"], "bogus": {"nbytes": 1}}
+        registry._write_index(planted)
+        assert ModelRegistry(tmp_path).keys() == sorted(["bogus", key])
+        # rebuild_index() is the reconciliation for exactly that situation.
+        registry.rebuild_index()
+        assert ModelRegistry(tmp_path).keys() == [key]
+
+    def test_corrupt_index_is_rebuilt_transparently(self, compiled, tmp_path):
+        """Acceptance: index corruption never breaks the registry."""
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        index_path = tmp_path / INDEX_NAME
+        for garbage in ("not json{{", json.dumps({"version": 999}),
+                        json.dumps([1, 2, 3]), ""):
+            index_path.write_text(garbage)
+            fresh = ModelRegistry(tmp_path)
+            assert fresh.keys() == [key]
+            assert json.loads(index_path.read_text())["entries"][key]
+            np.testing.assert_array_equal(fresh.load(key).static_table,
+                                          compiled.static_table)
+
+    def test_foreign_writes_detected_as_stale(self, compiled, tmp_path):
+        """Files added/removed behind the registry's back are picked up."""
+        source = ModelRegistry(tmp_path / "source")
+        target = ModelRegistry(tmp_path / "target")
+        key = source.save(compiled)
+        assert target.keys() == []
+        # Foreign addition: copy the entry files directly (no registry API).
+        target.root.mkdir(parents=True, exist_ok=True)
+        assert target.keys() == []
+        for suffix in (".npz", ".json"):
+            (target.root / f"{key}{suffix}").write_bytes(
+                (source.root / f"{key}{suffix}").read_bytes())
+        assert target.keys() == [key]
+        assert key in target
+        # Foreign deletion: unlink directly; the stale index must rebuild.
+        (target.root / f"{key}.npz").unlink()
+        (target.root / f"{key}.json").unlink()
+        assert target.keys() == []
+        assert key not in target
+
+    def test_remove_updates_index(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        registry.remove(key)
+        assert registry.keys() == []
+        assert key not in json.loads(
+            (tmp_path / INDEX_NAME).read_text())["entries"]
+
+    def test_entry_nbytes_matches_disk(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        expected = ((tmp_path / f"{key}.npz").stat().st_size
+                    + (tmp_path / f"{key}.json").stat().st_size)
+        assert registry.entry_nbytes(key) == expected
+        with pytest.raises(RegistryError, match="no registry entry"):
+            registry.entry_nbytes("deadbeef")
+
+    def test_missing_root_behaves_like_empty(self, tmp_path):
+        registry = ModelRegistry(tmp_path / "never-created")
+        assert registry.keys() == []
+        assert "deadbeef" not in registry
+        with pytest.raises(RegistryError):
+            registry.entry_nbytes("deadbeef")
+
+    def test_load_of_indexed_but_deleted_entry_raises_and_heals(self, compiled,
+                                                                tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        (tmp_path / f"{key}.npz").unlink()
+        with pytest.raises(RegistryError, match="no registry entry"):
+            registry.load(key)
+        assert key not in json.loads(
+            (tmp_path / INDEX_NAME).read_text())["entries"]
+
+    def test_failed_load_does_not_hide_foreign_additions(self, compiled,
+                                                         tmp_path):
+        """A load() that heals the index must not stamp staleness away:
+        entries copied in alongside a foreign deletion stay discoverable."""
+        source = ModelRegistry(tmp_path / "source")
+        other = compile_model(synthetic_model(), dt=2e-9,
+                              input_range=(0.0, 1.0))
+        other_key = source.save(other)
+        registry = ModelRegistry(tmp_path / "reg")
+        key = registry.save(compiled)
+        # Foreign sync: delete the known entry's files, copy a new entry in.
+        (registry.root / f"{key}.npz").unlink()
+        (registry.root / f"{key}.json").unlink()
+        for suffix in (".npz", ".json"):
+            (registry.root / f"{other_key}{suffix}").write_bytes(
+                (source.root / f"{other_key}{suffix}").read_bytes())
+        with pytest.raises(RegistryError, match="no registry entry"):
+            registry.load(key)
+        assert registry.keys() == [other_key]
+        assert other_key in registry
+
+
+class TestModelHandle:
+    def test_handle_round_trips_through_pickle(self, compiled, tmp_path):
+        import pickle
+
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        handle = registry.handle(key)
+        clone = pickle.loads(pickle.dumps(handle))
+        assert clone == handle
+        loaded = clone.load()
+        _, u = make_stimulus(100)
+        np.testing.assert_array_equal(loaded.evaluate(u), compiled.evaluate(u))
+
+    def test_handle_for_unknown_key_rejected(self, tmp_path):
+        with pytest.raises(RegistryError, match="no registry entry"):
+            ModelRegistry(tmp_path).handle("deadbeef")
+
+    def test_handle_load_verifies_integrity(self, compiled, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        key = registry.save(compiled)
+        handle = registry.handle(key)
+        npz = tmp_path / f"{key}.npz"
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])
+        with pytest.raises(RegistryError, match="corrupt|integrity"):
+            handle.load()
 
 
 class TestValidationHarness:

@@ -1,0 +1,412 @@
+"""Tests of the serving layer: micro-batching, sharding, caching, failure paths."""
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServeError
+from repro.runtime import ModelRegistry, compile_model, shard_slices
+from repro.rvf.hammerstein import HammersteinBranch, HammersteinModel
+from repro.rvf.residues import PartialFractionFunction
+from repro.serve import (
+    MicroBatcher,
+    ModelCache,
+    ModelServer,
+    ServePolicy,
+    ServeRequest,
+    ShardPool,
+)
+from repro.tft.state_estimator import StateEstimator
+
+#: Generous wall-clock bound on any future in these tests; failure-path
+#: futures must resolve (successfully or not) well before this — the serving
+#: contract is "retried or failed cleanly, never hung".
+FUTURE_TIMEOUT = 60.0
+
+
+def small_model(tau: float = 1.0) -> HammersteinModel:
+    """A one-complex-pair, one-real-branch model (compiles in microseconds)."""
+    def pf(poles, coeffs, const):
+        return PartialFractionFunction(np.asarray(poles, complex),
+                                       np.asarray(coeffs, complex), const)
+
+    gain = pf([-2.0 + 0.5j], [0.3 + 0.1j], 1.2)
+    pair = pf([-1.5 + 0.2j], [0.2 - 0.05j], 0.4 + 0.2j)
+    real = pf([-1.0], [0.15], 0.2)
+    branches = [
+        HammersteinBranch(pole=(-3e7 + 1e8j) * tau, residue_function=pair,
+                          static_function=pair.antiderivative()
+                          .with_value_at(0.5, 0.0), is_complex_pair=True),
+        HammersteinBranch(pole=-5e7 * tau, residue_function=real,
+                          static_function=real.antiderivative()
+                          .with_value_at(0.5, 0.0), is_complex_pair=False),
+    ]
+    return HammersteinModel(
+        branches=branches, gain_function=gain,
+        static_function=gain.antiderivative().with_value_at(0.5, 0.3),
+        state_estimator=StateEstimator(), dc_input=0.5, dc_output=0.3)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_model(small_model(), dt=1e-9, input_range=(0.0, 1.0))
+
+
+@pytest.fixture()
+def registry(compiled, tmp_path):
+    registry = ModelRegistry(tmp_path / "models")
+    registry.save(compiled)
+    return registry
+
+
+@pytest.fixture()
+def key(compiled):
+    from repro.runtime import content_hash
+
+    return content_hash(compiled)
+
+
+def request_batch(n_rows: int = 24, n_steps: int = 64, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return 0.5 + 0.3 * rng.standard_normal((n_rows, n_steps))
+
+
+# --------------------------------------------------------------------------- cache
+class _FakeModel:
+    def __init__(self, nbytes):
+        self.nbytes = nbytes
+
+
+class TestModelCache:
+    def test_lru_eviction_under_byte_budget(self):
+        cache = ModelCache(max_bytes=100)
+        loads = []
+
+        def loader(name, nbytes):
+            def load():
+                loads.append(name)
+                return _FakeModel(nbytes)
+            return load
+
+        a = cache.get_or_load("a", loader("a", 40))
+        b = cache.get_or_load("b", loader("b", 40))
+        assert cache.keys == ["a", "b"] and cache.current_bytes == 80
+        # Touch "a" so "b" becomes the least recently used entry.
+        assert cache.get_or_load("a", loader("a", 40)) is a
+        c = cache.get_or_load("c", loader("c", 40))
+        assert cache.keys == ["a", "c"]
+        assert cache.current_bytes == 80
+        assert cache.stats.evictions == 1
+        # "b" was evicted: loading it again calls the loader afresh.
+        b2 = cache.get_or_load("b", loader("b", 40))
+        assert b2 is not b
+        assert loads == ["a", "b", "c", "b"]
+        assert b is not c   # silence unused warnings
+
+    def test_model_larger_than_budget_served_but_not_admitted(self):
+        cache = ModelCache(max_bytes=100)
+        small = cache.get_or_load("small", lambda: _FakeModel(60))
+        big = cache.get_or_load("big", lambda: _FakeModel(200))
+        assert big.nbytes == 200
+        assert cache.keys == ["small"]       # the oversized model never evicts
+        assert cache.stats.uncached == 1
+        assert cache.get_or_load("small", lambda: _FakeModel(60)) is small
+
+    def test_zero_budget_never_caches(self):
+        cache = ModelCache(max_bytes=0)
+        cache.get_or_load("a", lambda: _FakeModel(1))
+        assert len(cache) == 0 and cache.stats.uncached == 1
+
+    def test_drop_and_clear(self):
+        cache = ModelCache(max_bytes=100)
+        cache.get_or_load("a", lambda: _FakeModel(30))
+        cache.get_or_load("b", lambda: _FakeModel(30))
+        cache.drop("a")
+        cache.drop("missing")                # no-op
+        assert cache.keys == ["b"] and cache.current_bytes == 30
+        cache.clear()
+        assert len(cache) == 0 and cache.current_bytes == 0
+
+
+# ------------------------------------------------------------------------- batcher
+class TestMicroBatcher:
+    @staticmethod
+    def request(key="m", n_steps=8):
+        return ServeRequest(key=key, samples=np.zeros(n_steps))
+
+    def test_full_batch_closes_immediately_in_order(self):
+        batcher = MicroBatcher(max_batch=3, max_wait=10.0)
+        first, second = self.request(), self.request()
+        assert batcher.add(first, now=0.0) is None
+        assert batcher.add(second, now=0.1) is None
+        batch = batcher.add(self.request(), now=0.2)
+        assert batch is not None and len(batch) == 3
+        assert batch.requests[0] is first and batch.requests[1] is second
+        assert batcher.pending() == 0
+        assert all(r.t_closed == 0.2 for r in batch.requests)
+
+    def test_deadline_pinned_by_oldest_request(self):
+        batcher = MicroBatcher(max_batch=100, max_wait=1.0)
+        batcher.add(self.request(), now=5.0)
+        batcher.add(self.request(), now=5.9)     # must not extend the wait
+        assert batcher.next_deadline() == pytest.approx(6.0)
+        assert batcher.due(now=5.99) == []
+        closed = batcher.due(now=6.0)
+        assert len(closed) == 1 and len(closed[0]) == 2
+
+    def test_groups_are_per_key_and_length(self):
+        batcher = MicroBatcher(max_batch=2, max_wait=10.0)
+        assert batcher.add(self.request("a"), 0.0) is None
+        assert batcher.add(self.request("b"), 0.0) is None
+        assert batcher.add(self.request("a", n_steps=16), 0.0) is None
+        assert batcher.pending() == 3
+        batch = batcher.add(self.request("a"), 0.0)      # fills ("a", 8)
+        assert batch is not None and batch.key == "a" and batch.n_steps == 8
+        drained = batcher.drain(now=1.0)
+        assert sorted((b.key, b.n_steps) for b in drained) == \
+            [("a", 16), ("b", 8)]
+        assert batcher.pending() == 0
+
+
+# --------------------------------------------------------------------- shard pool
+class TestShardSlices:
+    def test_partition_covers_rows_in_order(self):
+        for n_rows, n_shards in [(10, 3), (3, 8), (1, 1), (16, 4), (7, 7)]:
+            slices = shard_slices(n_rows, n_shards)
+            assert len(slices) == min(n_rows, n_shards)
+            covered = np.concatenate([np.arange(s.start, s.stop) for s in slices])
+            np.testing.assert_array_equal(covered, np.arange(n_rows))
+            sizes = [s.stop - s.start for s in slices]
+            assert max(sizes) - min(sizes) <= 1
+
+
+class TestShardPool:
+    def test_bitwise_equal_to_single_process_evaluate(self, registry, compiled, key):
+        batch = request_batch(23, 96)
+        direct = compiled.evaluate(batch)
+        for n_workers in (1, 2, 3):
+            with ShardPool(registry.root, n_workers) as pool:
+                np.testing.assert_array_equal(pool.evaluate(key, batch), direct)
+
+    def test_worker_killed_mid_batch_respawns_and_retries(self, registry,
+                                                          compiled, key):
+        """Acceptance: a crash mid-batch is retried, never hung."""
+        batch = request_batch(9, 32)
+        with ShardPool(registry.root, 2, fault_injection={key}) as pool:
+            outputs = pool.evaluate(key, batch)
+            np.testing.assert_array_equal(outputs, compiled.evaluate(batch))
+            assert pool.respawns >= 1
+            assert pool.retried_jobs >= 1
+
+    def test_externally_killed_idle_worker_is_respawned(self, registry,
+                                                        compiled, key):
+        batch = request_batch(8, 32)
+        with ShardPool(registry.root, 2) as pool:
+            os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+            pool._workers[0].process.join(timeout=10.0)
+            outputs = pool.evaluate(key, batch)
+            np.testing.assert_array_equal(outputs, compiled.evaluate(batch))
+            assert pool.respawns == 1
+
+    def test_retry_budget_exhausted_fails_cleanly(self, registry, key):
+        with ShardPool(registry.root, 2, max_retries=0,
+                       fault_injection={key}) as pool:
+            with pytest.raises(ServeError, match="max_retries=0"):
+                pool.evaluate(key, request_batch(6, 32))
+
+    def test_worker_exception_propagates_without_retry(self, registry):
+        with ShardPool(registry.root, 2) as pool:
+            with pytest.raises(ServeError, match="no registry entry"):
+                pool.evaluate("0" * 64, request_batch(6, 32))
+            assert pool.respawns == 0        # an exception is not a crash
+
+    def test_abandoned_batch_replies_never_leak_into_next(self, registry,
+                                                          compiled, key):
+        """A failed batch leaves stale replies in pipes; they must be skipped."""
+        batch = request_batch(8, 32)
+        with ShardPool(registry.root, 2) as pool:
+            with pytest.raises(ServeError):
+                pool.evaluate("0" * 64, batch)   # both workers reply; one read
+            outputs = pool.evaluate(key, batch)
+            np.testing.assert_array_equal(outputs, compiled.evaluate(batch))
+
+    def test_closed_pool_rejects_work(self, registry, key):
+        pool = ShardPool(registry.root, 1)
+        pool.close()
+        pool.close()                             # idempotent
+        with pytest.raises(ServeError, match="closed"):
+            pool.evaluate(key, request_batch(2, 8))
+
+
+# ------------------------------------------------------------------------- server
+class TestServerValidation:
+    @pytest.fixture()
+    def server(self, registry):
+        with ModelServer(registry, ServePolicy(max_batch=8, max_wait=1e-3)) as srv:
+            yield srv
+
+    def test_oversized_request_rejected_with_named_limit(self, registry, key):
+        policy = ServePolicy(max_batch=8, max_wait=1e-3, max_request_samples=100)
+        with ModelServer(registry, policy) as server:
+            with pytest.raises(ServeError, match="max_request_samples=100"):
+                server.submit(key, np.zeros(101))
+            server.submit(key, np.full(100, 0.5)).result(FUTURE_TIMEOUT)
+
+    def test_non_finite_request_rejected_before_batching(self, server, key):
+        samples = np.full(16, 0.5)
+        samples[5] = np.nan
+        with pytest.raises(ServeError, match="non-finite sample at step 5"):
+            server.submit(key, samples)
+
+    def test_malformed_shapes_rejected(self, server, key):
+        with pytest.raises(ServeError, match="1-D"):
+            server.submit(key, np.zeros((2, 8)))
+        with pytest.raises(ServeError, match="1-D"):
+            server.submit(key, np.zeros(0))
+
+    def test_unknown_key_rejected_at_submit(self, server):
+        with pytest.raises(ServeError, match="unknown model key"):
+            server.submit("f" * 64, np.full(8, 0.5))
+
+    def test_queue_depth_limit_named(self, registry, key):
+        policy = ServePolicy(max_batch=1000, max_wait=60.0, max_queue_depth=2)
+        with ModelServer(registry, policy) as server:
+            server.submit(key, np.full(8, 0.5))
+            server.submit(key, np.full(8, 0.5))
+            with pytest.raises(ServeError, match="max_queue_depth=2"):
+                server.submit(key, np.full(8, 0.5))
+            server.flush()
+
+    def test_submit_after_close_rejected(self, registry, key):
+        server = ModelServer(registry, ServePolicy(max_batch=4, max_wait=1e-3))
+        server.close()
+        with pytest.raises(ServeError, match="closed"):
+            server.submit(key, np.full(8, 0.5))
+
+    def test_close_resolves_pending_futures(self, registry, compiled, key):
+        server = ModelServer(registry, ServePolicy(max_batch=1000, max_wait=60.0))
+        row = np.full(16, 0.5)
+        future = server.submit(key, row)     # parked: batch never fills
+        server.close()
+        np.testing.assert_array_equal(future.result(FUTURE_TIMEOUT),
+                                      compiled.evaluate(row))
+
+
+class TestServerBatching:
+    def test_results_bitwise_equal_to_direct_evaluate(self, registry, compiled,
+                                                      key):
+        batch = request_batch(30, 64)
+        policy = ServePolicy(max_batch=10, max_wait=5e-3)
+        with ModelServer(registry, policy) as server:
+            outputs = server.serve(key, batch)
+        np.testing.assert_array_equal(outputs, compiled.evaluate(batch))
+
+    def test_full_batches_coalesce(self, registry, key):
+        batch = request_batch(12, 32)
+        with ModelServer(registry, ServePolicy(max_batch=12, max_wait=60.0)) as server:
+            futures = [server.submit(key, row) for row in batch]
+            for future in futures:
+                future.result(FUTURE_TIMEOUT)
+            stats = server.stats()
+        assert stats.n_batches == 1
+        assert stats.mean_batch_size == pytest.approx(12.0)
+        assert stats.n_completed == 12 and stats.n_failed == 0
+
+    def test_partial_batch_flushed_by_deadline(self, registry, compiled, key):
+        row = np.full(24, 0.5)
+        with ModelServer(registry, ServePolicy(max_batch=1000, max_wait=0.02)) as server:
+            start = time.monotonic()
+            future = server.submit(key, row)
+            result = future.result(FUTURE_TIMEOUT)
+            elapsed = time.monotonic() - start
+        np.testing.assert_array_equal(result, compiled.evaluate(row))
+        assert elapsed >= 0.02               # waited out the coalescing window
+        stats_batch = server.stats()
+        assert stats_batch.queue_latency.max >= 0.02
+
+    def test_mixed_lengths_form_separate_batches(self, registry, compiled, key):
+        short, long = np.full(16, 0.4), np.full(32, 0.6)
+        with ModelServer(registry, ServePolicy(max_batch=2, max_wait=60.0)) as server:
+            futures = [server.submit(key, short), server.submit(key, long),
+                       server.submit(key, short), server.submit(key, long)]
+            results = [f.result(FUTURE_TIMEOUT) for f in futures]
+            assert server.stats().n_batches == 2
+        np.testing.assert_array_equal(results[0], compiled.evaluate(short))
+        np.testing.assert_array_equal(results[1], compiled.evaluate(long))
+
+    def test_stats_describe_smoke(self, registry, key):
+        with ModelServer(registry, ServePolicy(max_batch=2, max_wait=1e-3)) as server:
+            server.serve(key, request_batch(4, 16))
+            described = server.stats().describe()
+        assert "request" in described and "batch" in described
+
+    def test_cache_eviction_under_byte_budget(self, compiled, tmp_path):
+        """Two models, budget for one: serving alternates loads + evictions."""
+        registry = ModelRegistry(tmp_path / "models")
+        other = compile_model(small_model(tau=2.0), dt=1e-9,
+                              input_range=(0.0, 1.0))
+        key_a, key_b = registry.save(compiled), registry.save(other)
+        assert key_a != key_b
+        policy = ServePolicy(max_batch=4, max_wait=1e-3,
+                             cache_bytes=int(compiled.nbytes * 1.5))
+        with ModelServer(registry, policy) as server:
+            for _ in range(2):
+                out_a = server.serve(key_a, request_batch(4, 32))
+                out_b = server.serve(key_b, request_batch(4, 32))
+            stats = server.stats()
+        np.testing.assert_array_equal(out_a, compiled.evaluate(request_batch(4, 32)))
+        np.testing.assert_array_equal(out_b, other.evaluate(request_batch(4, 32)))
+        assert stats.cache["evictions"] >= 2     # models displaced each other
+        assert stats.cache["misses"] >= 3        # ... and were re-loaded
+
+
+class TestServerSharded:
+    def test_sharded_bitwise_equal_to_direct_evaluate(self, registry, compiled,
+                                                      key):
+        batch = request_batch(40, 64)
+        policy = ServePolicy(max_batch=20, max_wait=5e-3, n_workers=2)
+        with ModelServer(registry, policy) as server:
+            outputs = server.serve(key, batch)
+            assert server.stats().pool["n_workers"] == 2
+        np.testing.assert_array_equal(outputs, compiled.evaluate(batch))
+
+    def test_worker_crash_mid_batch_is_transparent_to_callers(self, registry,
+                                                              compiled, key):
+        """Acceptance: kill a worker mid-batch; every future still resolves."""
+        batch = request_batch(10, 32)
+        policy = ServePolicy(max_batch=10, max_wait=60.0, n_workers=2)
+        with ModelServer(registry, policy, fault_injection={key}) as server:
+            futures = [server.submit(key, row) for row in batch]
+            results = np.vstack([f.result(FUTURE_TIMEOUT) for f in futures])
+            stats = server.stats()
+        np.testing.assert_array_equal(results, compiled.evaluate(batch))
+        assert stats.pool["respawns"] >= 1
+        assert stats.n_failed == 0
+
+    def test_exhausted_retries_fail_futures_cleanly(self, registry, key):
+        policy = ServePolicy(max_batch=4, max_wait=60.0, n_workers=2,
+                             max_retries=0)
+        with ModelServer(registry, policy, fault_injection={key}) as server:
+            futures = [server.submit(key, np.full(16, 0.5)) for _ in range(4)]
+            for future in futures:
+                with pytest.raises(ServeError, match="max_retries=0"):
+                    future.result(FUTURE_TIMEOUT)
+            assert server.stats().n_failed == 4
+
+
+class TestServePolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_batch": 0},
+        {"max_wait": -1.0},
+        {"max_request_samples": 0},
+        {"max_queue_depth": 0},
+        {"n_workers": -1},
+        {"max_retries": -1},
+        {"cache_bytes": -1},
+    ])
+    def test_bad_policies_rejected(self, kwargs):
+        with pytest.raises(ServeError):
+            ServePolicy(**kwargs).validate()

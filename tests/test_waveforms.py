@@ -189,3 +189,47 @@ class TestVectorisedSampling:
         w = Pulse()
         out = w.sample([0.0, 0.5e-9, 1.5e-9])
         assert out.shape == (3,)
+
+
+class TestBreakpoints:
+    """Corner-time registration consumed by the adaptive step controller."""
+
+    def test_smooth_waveforms_have_none(self):
+        assert DC(0.7).breakpoints(0.0, 1.0).size == 0
+        assert Sine(0.5, 0.1, 1e6).breakpoints(0.0, 1e-6).size == 0
+
+    def test_sine_hold_end_is_a_corner(self):
+        w = Sine(0.5, 0.1, 1e6, delay=2e-7)
+        np.testing.assert_allclose(w.breakpoints(0.0, 1e-6), [2e-7])
+        assert w.breakpoints(3e-7, 1e-6).size == 0      # outside the span
+
+    def test_pulse_corners_across_periods(self):
+        w = Pulse(initial=0.0, pulsed=1.0, delay=1e-9, rise=1e-9, fall=2e-9,
+                  width=3e-9, period=10e-9)
+        corners = w.breakpoints(0.0, 20e-9)
+        expected = [1e-9, 2e-9, 5e-9, 7e-9,             # first period
+                    11e-9, 12e-9, 15e-9, 17e-9]         # second period
+        np.testing.assert_allclose(corners, expected)
+
+    def test_pulse_window_clips_and_keeps_order(self):
+        w = Pulse(rise=1e-9, fall=1e-9, width=2e-9, period=10e-9)
+        corners = w.breakpoints(10.5e-9, 14e-9)
+        np.testing.assert_allclose(corners, [11e-9, 13e-9, 14e-9])
+
+    def test_piecewise_linear_knots(self):
+        w = PiecewiseLinear([(0.0, 0.0), (1e-9, 1.0), (5e-9, 0.2)])
+        np.testing.assert_allclose(w.breakpoints(0.5e-9, 10e-9), [1e-9, 5e-9])
+
+    def test_bitpattern_transition_starts_and_ends(self):
+        w = BitPattern(bits=[0, 1, 1, 0], bit_rate=1e9, edge_time=0.2e-9)
+        corners = w.breakpoints(0.0, 4e-9)
+        # Transitions into bits 1 and 3 only; start and end of each edge.
+        np.testing.assert_allclose(corners, [1e-9, 1.2e-9, 3e-9, 3.2e-9])
+
+    def test_bitpattern_constant_pattern_has_none(self):
+        assert BitPattern(bits=[1, 1, 1], bit_rate=1e9).breakpoints(0, 3e-9).size == 0
+
+    def test_breakpoints_sorted_unique(self):
+        w = Pulse(rise=1e-9, fall=1e-9, width=8e-9, period=10e-9)
+        corners = w.breakpoints(0.0, 50e-9)
+        assert np.all(np.diff(corners) > 0)             # strictly increasing
