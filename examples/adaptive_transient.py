@@ -11,7 +11,10 @@ once on a fine fixed grid, once adaptively — and reports the step count,
 rejection statistics and the deviation between the two trajectories.
 
 Run with:  python examples/adaptive_transient.py
+(set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
 """
+
+import os
 
 import numpy as np
 
@@ -19,15 +22,19 @@ from repro.circuit import TransientOptions, transient_analysis
 from repro.circuits import build_output_buffer
 from repro.circuits.buffer import buffer_test_pattern
 
+#: Reduced workload for CI smoke runs (REPRO_EXAMPLES_SMOKE=1).
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+N_BITS = 8 if SMOKE else 16
+
 
 def main() -> None:
-    waveform = buffer_test_pattern(n_bits=16)
+    waveform = buffer_test_pattern(n_bits=N_BITS)
     system = build_output_buffer(input_waveform=waveform).build()
     bit_period = 1.0 / waveform.bit_rate
-    t_stop = 16 * bit_period
+    t_stop = N_BITS * bit_period
     dt = bit_period / 160
 
-    print(f"stimulus: {16} bits at {waveform.bit_rate / 1e9:.1f} GS/s, "
+    print(f"stimulus: {N_BITS} bits at {waveform.bit_rate / 1e9:.1f} GS/s, "
           f"t_stop = {t_stop * 1e9:.2f} ns")
 
     fixed = transient_analysis(system, TransientOptions(t_stop=t_stop, dt=dt))

@@ -5,7 +5,10 @@ spectrally rich 2.5 GS/s bit pattern as the transistor-level buffer, and the
 accuracy / build-time / speed-up comparison of Table I is printed.
 
 Run with:  python examples/bitpattern_validation.py
+(set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
 """
+
+import os
 
 import numpy as np
 
@@ -21,6 +24,11 @@ from repro.circuits import build_output_buffer, buffer_test_pattern, buffer_trai
 from repro.rvf import RVFOptions, extract_rvf_model, simulate_hammerstein
 from repro.tft import SnapshotTrajectory, default_frequency_grid, extract_tft
 
+#: Reduced workload for CI smoke runs (REPRO_EXAMPLES_SMOKE=1).
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+N_BITS = 12 if SMOKE else 32
+CAFFEINE_GENERATIONS = 10 if SMOKE else 25
+
 
 def main():
     # ------------------------------------------------------------------ train
@@ -34,13 +42,14 @@ def main():
     tft = extract_tft(trajectory, default_frequency_grid(1.0, 10e9, 4), max_snapshots=110)
 
     rvf = extract_rvf_model(tft, RVFOptions(error_bound=1e-3))
-    caffeine = extract_caffeine_model(tft, error_bound=1e-3,
-                                      caffeine_options=CaffeineOptions(generations=25))
+    caffeine = extract_caffeine_model(
+        tft, error_bound=1e-3,
+        caffeine_options=CaffeineOptions(generations=CAFFEINE_GENERATIONS))
     print(rvf.summary())
     print(caffeine.summary())
 
     # --------------------------------------------------------------- validate
-    pattern = buffer_test_pattern(n_bits=32, bit_rate=2.5e9)
+    pattern = buffer_test_pattern(n_bits=N_BITS, bit_rate=2.5e9)
     test_circuit = build_output_buffer(input_waveform=pattern, name="buffer_under_test")
     test_system = test_circuit.build()
     reference = transient_analysis(test_system,

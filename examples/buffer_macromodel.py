@@ -11,7 +11,10 @@ Steps (matching Figs. 5-7 of the paper):
    the error contours of Fig. 7.
 
 Run with:  python examples/buffer_macromodel.py
+(set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
 """
+
+import os
 
 import numpy as np
 
@@ -20,6 +23,11 @@ from repro.circuit import TransientOptions, ac_analysis, frequency_grid, transie
 from repro.circuits import build_output_buffer, buffer_training_waveform
 from repro.rvf import RVFOptions, extract_rvf_model
 from repro.tft import SnapshotTrajectory, default_frequency_grid, extract_tft
+
+#: Reduced workload for CI smoke runs (REPRO_EXAMPLES_SMOKE=1).
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+#: Points/decade of the (purely diagnostic) AC sweep.
+AC_POINTS_PER_DECADE = 3 if SMOKE else 6
 
 
 def render_surface(tft, n_state_bins=8, n_freq_bins=6):
@@ -46,7 +54,7 @@ def main():
     print(circuit.summary())
     print(f"({buffer_params_note})")
 
-    ac = ac_analysis(system, frequency_grid(1e5, 30e9, 6))
+    ac = ac_analysis(system, frequency_grid(1e5, 30e9, AC_POINTS_PER_DECADE))
     print(f"Small-signal DC gain {ac.dc_gain():.2f} (paper: 2), "
           f"bandwidth {ac.bandwidth() / 1e9:.1f} GHz (paper: 3 GHz)")
 

@@ -1,0 +1,139 @@
+"""Gateway cluster: remote processes drive the model server over TCP.
+
+``examples/serving_cluster.py`` showed the traffic side of :mod:`repro.serve`
+— but every caller lived in the server's process.  This example opens the
+same micro-batching scheduler to the network with :mod:`repro.gateway`:
+
+1. extract, compile and register **two** models of one circuit family (an RC
+   ladder at two depths), exactly as the serving-cluster demo does,
+2. start a :class:`~repro.serve.server.ModelServer` with per-model dispatch
+   lanes and wrap it in a :class:`~repro.gateway.server.Gateway` — an
+   asyncio TCP front-end on a loopback port,
+3. launch **two separate client processes** that each connect with a
+   :class:`~repro.gateway.client.GatewayClient` and pipeline hundreds of
+   single-stimulus requests (each process favouring a different model, so
+   both dispatch lanes stay busy),
+4. spot-check that a remotely served output is bitwise-equal to evaluating
+   the same row directly, and
+5. print the gateway's connection/frame counters and the server's per-model
+   lane statistics.
+
+Run with:  python examples/gateway_cluster.py
+(set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
+"""
+
+import multiprocessing
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.circuit import Sine, TransientOptions
+from repro.circuits import build_rc_ladder
+from repro.gateway import Gateway, GatewayClient
+from repro.runtime import ModelRegistry, compile_model
+from repro.rvf import RVFOptions, extract_rvf_model
+from repro.serve import ModelServer, ServePolicy
+from repro.sweep import run_sweep, waveform_sweep
+
+#: Reduced workload for CI smoke runs (REPRO_EXAMPLES_SMOKE=1).
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+N_REQUESTS_PER_CLIENT = 200 if SMOKE else 1000
+N_STEPS = 100
+
+
+def extract_compiled(n_sections: int, transient: TransientOptions):
+    """One trained + compiled model of the RC-ladder family."""
+    scenarios = waveform_sweep(
+        build_rc_ladder, [Sine(0.5, amp, 2e5) for amp in (0.1, 0.25, 0.4)],
+        transient=transient, builder_kwargs={"n_sections": n_sections})
+    sweep = run_sweep(scenarios)
+    dataset = sweep.extract_combined_tft(max_snapshots=40)
+    extraction = extract_rvf_model(dataset, RVFOptions(error_bound=5e-3))
+    states = dataset.state_axis()
+    compiled = compile_model(
+        extraction.model, dt=transient.dt,
+        input_range=(float(states.min()) - 0.05, float(states.max()) + 0.05))
+    return compiled, sweep
+
+
+def client_main(client_id: int, host: str, port: int, keys, n_requests: int,
+                results) -> None:
+    """One remote process: connect, pipeline requests, report throughput.
+
+    Runs in its own (spawned) process — everything it knows about the server
+    is the ``(host, port)`` address and the model keys.
+    """
+    rng = np.random.default_rng(client_id)
+    times = np.arange(N_STEPS) * 1e-8
+    # Each client favours one model (3:1) so both lanes carry traffic.
+    request_keys = [keys[client_id if i % 4 else 1 - client_id]
+                    for i in range(n_requests)]
+    stimuli = [0.5 + amp * np.sin(2.0 * np.pi * freq * times)
+               for amp, freq in zip(rng.uniform(0.05, 0.4, n_requests),
+                                    rng.uniform(1e5, 8e5, n_requests))]
+    with GatewayClient(host, port, timeout=300.0) as client:
+        start = time.perf_counter()
+        outputs = client.submit_many(zip(request_keys, stimuli))
+        wall = time.perf_counter() - start
+    results.put((client_id, n_requests / wall,
+                 request_keys[0], stimuli[0], outputs[0]))
+
+
+def main():
+    # 1. Train, compile and register two models of the family.
+    transient = TransientOptions(t_stop=1e-6, dt=1e-8)
+    registry = ModelRegistry(tempfile.mkdtemp(prefix="gateway-cluster-"))
+    keys = []
+    for n_sections in (2, 3):
+        compiled, sweep = extract_compiled(n_sections, transient)
+        key = registry.save(compiled, provenance=sweep.provenance())
+        keys.append(key)
+        print(f"registered rc_ladder(n_sections={n_sections}) as "
+              f"{key[:16]}...")
+
+    # 2. Micro-batching server with per-model lanes, fronted over TCP.
+    policy = ServePolicy(max_batch=128, max_wait=2e-3, n_lanes=2)
+    with ModelServer(registry, policy) as server:
+        with Gateway(server) as gateway:
+            host, port = gateway.address
+            print(f"gateway listening on {host}:{port}")
+
+            # 3. Two remote client processes (spawned: nothing shared but
+            # the address), each pipelining its own request stream.
+            ctx = multiprocessing.get_context("spawn")
+            results = ctx.Queue()
+            clients = [
+                ctx.Process(target=client_main,
+                            args=(i, host, port, keys,
+                                  N_REQUESTS_PER_CLIENT, results))
+                for i in range(2)]
+            start = time.perf_counter()
+            for process in clients:
+                process.start()
+            reports = [results.get(timeout=300.0) for _ in clients]
+            for process in clients:
+                process.join(timeout=60.0)
+            wall = time.perf_counter() - start
+            total = 2 * N_REQUESTS_PER_CLIENT
+            print(f"served {total} remote requests x {N_STEPS} steps from "
+                  f"{len(clients)} client process(es) in {wall * 1e3:.0f} ms "
+                  f"({total / wall:.0f} req/s aggregate)")
+            for client_id, rate, *_ in sorted(reports):
+                print(f"  client {client_id}: {rate:.0f} req/s")
+
+            # 4. Bitwise spot-check one remotely served row per client.
+            for client_id, _, key, stimulus, output in reports:
+                direct = registry.load(key).evaluate(stimulus)
+                assert np.array_equal(output, direct)
+            print("spot-check: remote outputs bitwise-equal to direct "
+                  "evaluate")
+
+            # 5. What the gateway and the lanes actually did.
+            print(gateway.counters.describe())
+        print(server.stats().describe())
+
+
+if __name__ == "__main__":
+    main()

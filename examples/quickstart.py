@@ -11,7 +11,10 @@ This walks through the complete flow of the paper on a small, fast circuit:
    differential equations.
 
 Run with:  python examples/quickstart.py
+(set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
 """
+
+import os
 
 import numpy as np
 
@@ -26,6 +29,10 @@ from repro.circuit.waveforms import BitPattern, prbs_bits
 from repro.analysis import compare_surfaces, time_domain_rmse
 from repro.rvf import RVFOptions, extract_rvf_model, simulate_hammerstein
 from repro.tft import SnapshotTrajectory, default_frequency_grid, extract_tft
+
+#: Reduced workload for CI smoke runs (REPRO_EXAMPLES_SMOKE=1).
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+VALIDATION_BITS = 8 if SMOKE else 16
 
 
 def build_circuit(waveform, name="saturating_lowpass"):
@@ -69,7 +76,8 @@ def main():
     print(f"Hyperplane reproduction: {report.summary()}")
 
     # 5. Validate against SPICE on a bit-pattern input the model never saw.
-    pattern = BitPattern(bits=prbs_bits(16), bit_rate=2e6, low=0.2, high=1.0)
+    pattern = BitPattern(bits=prbs_bits(VALIDATION_BITS), bit_rate=2e6,
+                         low=0.2, high=1.0)
     test_circuit = build_circuit(pattern, name="validation")
     reference = transient_analysis(test_circuit.build(),
                                    TransientOptions(t_stop=pattern.duration, dt=2e-9))

@@ -16,8 +16,10 @@ this example shows the serving side of that bargain with :mod:`repro.runtime`:
    a held-out scenario family.
 
 Run with:  python examples/runtime_serving.py
+(set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
 """
 
+import os
 import tempfile
 import time
 
@@ -28,6 +30,10 @@ from repro.circuits import build_output_buffer, buffer_training_waveform
 from repro.rvf import RVFOptions, extract_rvf_model
 from repro.runtime import ModelRegistry, compile_model, validate_model
 from repro.sweep import SweepOptions, run_sweep, waveform_sweep
+
+#: Reduced workload for CI smoke runs (REPRO_EXAMPLES_SMOKE=1).
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+N_STIMULI = 400 if SMOKE else 2000
 
 
 def main():
@@ -63,7 +69,7 @@ def main():
 
     # 4. Batch-serve 2000 random stimuli sampled on the model's grid.
     rng = np.random.default_rng(0)
-    n_stimuli, n_steps = 2000, 256
+    n_stimuli, n_steps = N_STIMULI, 256
     times = served_model.time_axis(n_steps)
     amplitudes = rng.uniform(0.1, 0.5, n_stimuli)
     frequencies = rng.uniform(1e6, 4e6, n_stimuli)
@@ -79,9 +85,11 @@ def main():
     # 5. Validate against the full engine on a held-out amplitude/frequency.
     # Held-out stimuli get a 2x margin on the training bound: the extraction
     # guarantees the bound on its training hyperplane only.
+    held_out_sines = [Sine(base.offset, 0.35, 1.5e6)]
+    if not SMOKE:
+        held_out_sines.append(Sine(base.offset, 0.45, 2.5e6))
     held_out = waveform_sweep(
-        build_output_buffer,
-        [Sine(base.offset, 0.35, 1.5e6), Sine(base.offset, 0.45, 2.5e6)],
+        build_output_buffer, held_out_sines,
         transient=TransientOptions(t_stop=float(times[-1]), dt=transient.dt))
     report = validate_model(served_model, held_out,
                             error_bound=2.0 * extraction.model.metadata.error_bound)

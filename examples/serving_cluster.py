@@ -18,8 +18,10 @@ batching:
 5. print the server's latency/throughput statistics.
 
 Run with:  python examples/serving_cluster.py
+(set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
 """
 
+import os
 import tempfile
 import time
 
@@ -31,6 +33,10 @@ from repro.rvf import RVFOptions, extract_rvf_model
 from repro.runtime import ModelRegistry, compile_model
 from repro.serve import ModelServer, ServePolicy
 from repro.sweep import run_sweep, waveform_sweep
+
+#: Reduced workload for CI smoke runs (REPRO_EXAMPLES_SMOKE=1).
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+N_REQUESTS = 600 if SMOKE else 3000
 
 
 def extract_compiled(n_sections: int, transient: TransientOptions):
@@ -63,7 +69,7 @@ def main():
 
     # 2. A server with micro-batching and a 2-process shard pool.
     policy = ServePolicy(max_batch=128, max_wait=2e-3, n_workers=2)
-    n_requests, n_steps = 3000, 100
+    n_requests, n_steps = N_REQUESTS, 100
     times = registry.load(keys[0]).time_axis(n_steps)
     rng = np.random.default_rng(7)
 

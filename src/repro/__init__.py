@@ -19,6 +19,10 @@ The package is organised bottom-up:
 * :mod:`repro.runtime` — compiled model runtime: batch serving of extracted
   models (recurrence compilation, registry persistence, sim-vs-model
   validation),
+* :mod:`repro.serve` — traffic serving: micro-batching, per-model dispatch
+  lanes, sharded worker processes, per-request futures,
+* :mod:`repro.gateway` — asyncio TCP front-end and clients so remote
+  processes reach the same scheduler,
 * :mod:`repro.analysis` — error metrics, timing and report helpers.
 """
 

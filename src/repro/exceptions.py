@@ -77,3 +77,35 @@ class ServeError(ReproError):
     budget, and worker-side evaluation failures propagated back to the
     submitting caller's future.
     """
+
+
+class ServerClosedError(ServeError):
+    """Raised for submissions to a :class:`~repro.serve.server.ModelServer`
+    after its ``close()`` — typed so transports (the gateway) can classify
+    it without inspecting message prose."""
+
+
+class GatewayError(ServeError):
+    """Raised by the network front-end (:mod:`repro.gateway`).
+
+    Covers failed connections (gateway closed or never started, connection
+    limit reached), per-request error replies relayed over the wire, and
+    connections dropped with requests outstanding.
+    """
+
+
+class FrameError(GatewayError):
+    """Raised for malformed gateway protocol frames.
+
+    ``request_id`` is the id recovered from the frame when the fixed prefix
+    was intact (``0`` when even that was unreadable) and ``code`` the wire
+    error code the gateway reports back for it — both let the server fail
+    exactly the offending request, or only the offending connection when the
+    stream can no longer be trusted.
+    """
+
+    def __init__(self, message: str, request_id: int = 0,
+                 code: int | None = None) -> None:
+        self.request_id = int(request_id)
+        self.code = code
+        super().__init__(message)

@@ -1,0 +1,380 @@
+"""Gateway clients: drive a remote model server from a few lines.
+
+Two variants over the same wire protocol (:mod:`repro.gateway.protocol`):
+
+* :class:`GatewayClient` — synchronous, stdlib sockets.  :meth:`submit`
+  for one round trip, :meth:`submit_many` for pipelining: every request
+  frame is streamed out while replies stream back concurrently (a
+  ``selectors`` readiness loop interleaves the two), so a single connection
+  sustains thousands of in-flight-batched requests without ever deadlocking
+  against the gateway's per-connection backpressure.
+* :class:`AsyncGatewayClient` — asyncio, for callers that already live on
+  an event loop.  A background reader task matches reply frames to the
+  awaiting futures by request id.
+
+Both raise :class:`~repro.exceptions.GatewayError`:
+
+* connecting to a closed (or never-started) gateway names the address and
+  the refusal,
+* a per-request error reply carries the server's message (which itself names
+  the violated limit or the unknown key),
+* a connection dropped mid-flight names how many requests were outstanding.
+
+The minimal round trip::
+
+    from repro.gateway import GatewayClient
+
+    with GatewayClient("127.0.0.1", 7433) as client:
+        output = client.submit(key, samples)            # one stimulus
+        outputs = client.submit_many([(key, s) for s in stimuli])
+"""
+
+from __future__ import annotations
+
+import asyncio
+import selectors
+import socket
+import time
+
+import numpy as np
+
+from ..exceptions import FrameError, GatewayError
+from . import protocol
+
+__all__ = ["AsyncGatewayClient", "GatewayClient"]
+
+
+def _connect_error(host: str, port: int, exc: Exception) -> GatewayError:
+    return GatewayError(
+        f"could not connect to gateway at {host}:{port}: {exc!r} — is the "
+        "gateway running? (a closed gateway refuses new connections)")
+
+
+class _ReplyBuffer:
+    """Incremental frame parser over a byte stream."""
+
+    def __init__(self, max_frame_bytes: int) -> None:
+        self._buffer = bytearray()
+        self._max = int(max_frame_bytes)
+
+    def feed(self, data: bytes) -> list:
+        """Consume bytes, return every complete decoded reply."""
+        self._buffer.extend(data)
+        replies = []
+        prefix = protocol.LENGTH_PREFIX
+        while len(self._buffer) >= prefix.size:
+            (length,) = prefix.unpack_from(self._buffer)
+            if length > self._max:
+                raise GatewayError(
+                    f"gateway sent a frame of {length} bytes, beyond this "
+                    f"client's max_frame_bytes={self._max}")
+            if len(self._buffer) < prefix.size + length:
+                break
+            payload = bytes(self._buffer[prefix.size:prefix.size + length])
+            del self._buffer[:prefix.size + length]
+            replies.append(protocol.decode_payload(payload))
+        return replies
+
+
+def _raise_if_fatal(reply) -> None:
+    """A ``request_id == 0`` error frame fails the whole connection."""
+    if isinstance(reply, protocol.ErrorReply) and reply.request_id == 0:
+        raise GatewayError(
+            f"gateway failed this connection (code {reply.code}): "
+            f"{reply.message}")
+
+
+class GatewayClient:
+    """Synchronous TCP client of a :class:`~repro.gateway.server.Gateway`.
+
+    Parameters
+    ----------
+    host / port:
+        The gateway's bind address (``gateway.address`` unpacks into both).
+    timeout:
+        Wall-clock bound (seconds) on :meth:`submit` / :meth:`submit_many`.
+    max_frame_bytes:
+        Largest reply frame this client accepts (mirror of the server-side
+        policy knob).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 max_frame_bytes: int = 64 << 20) -> None:
+        self.host, self.port = host, int(port)
+        self.timeout = float(timeout)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._next_id = 1
+        self._closed = False
+        try:
+            self._sock = socket.create_connection((host, self.port),
+                                                  timeout=self.timeout)
+        except OSError as exc:
+            raise _connect_error(host, self.port, exc) from None
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- submission
+    def submit(self, key: str, samples) -> np.ndarray:
+        """One request, one blocking round trip; returns the output row."""
+        (output,) = self.submit_many([(key, samples)])
+        return output
+
+    def submit_many(self, requests, return_errors: bool = False) -> list:
+        """Pipeline many requests over this one connection.
+
+        ``requests`` is a sequence of ``(model_key, samples)`` pairs.
+        Returns the output rows in request order.  Per-request failures
+        raise the first :class:`~repro.exceptions.GatewayError` encountered
+        — or, with ``return_errors=True``, are returned in place of that
+        request's output so one bad request doesn't void its thousand good
+        neighbours.
+        """
+        if self._closed:
+            raise GatewayError(
+                f"client connection to {self.host}:{self.port} is closed")
+        requests = list(requests)
+        if not requests:
+            return []
+        frames = []
+        order: list[int] = []
+        for key, samples in requests:
+            request_id = self._next_id
+            self._next_id += 1
+            frames.append(protocol.encode_request(request_id, key, samples))
+            order.append(request_id)
+        try:
+            results = self._pipeline(b"".join(frames), set(order))
+        except GatewayError:
+            # A fatal mid-pipeline failure (timeout, EOF, malformed frame)
+            # loses the stream's frame alignment: bytes of a reply may have
+            # been half-consumed, so no later call on this connection could
+            # trust what it reads.  Close rather than corrupt.
+            self.close()
+            raise
+        outputs = []
+        for request_id in order:
+            reply = results[request_id]
+            if isinstance(reply, protocol.Result):
+                outputs.append(reply.outputs)
+                continue
+            error = GatewayError(
+                f"request {request_id} failed (code {reply.code}): "
+                f"{reply.message}")
+            if not return_errors:
+                raise error
+            outputs.append(error)
+        return outputs
+
+    def _pipeline(self, outbound: bytes, expected: set[int]) -> dict:
+        """Interleave sends and receives until every reply arrived."""
+        sock = self._sock
+        sock.setblocking(False)
+        buffer = _ReplyBuffer(self.max_frame_bytes)
+        results: dict[int, object] = {}
+        view = memoryview(outbound)
+        deadline = time.monotonic() + self.timeout
+        selector = selectors.DefaultSelector()
+        try:
+            selector.register(sock, selectors.EVENT_READ
+                              | (selectors.EVENT_WRITE if view else 0))
+            while len(results) < len(expected):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise GatewayError(
+                        f"timed out after {self.timeout:.1f} s with "
+                        f"{len(expected) - len(results)} of {len(expected)} "
+                        f"reply(ies) outstanding from {self.host}:{self.port}")
+                for key_event, mask in selector.select(remaining):
+                    if mask & selectors.EVENT_WRITE and view:
+                        try:
+                            sent = sock.send(view[:1 << 20])
+                        except BlockingIOError:
+                            sent = 0
+                        except OSError as exc:
+                            raise GatewayError(
+                                f"connection to {self.host}:{self.port} "
+                                f"failed mid-send: {exc!r}") from None
+                        view = view[sent:]
+                        if not view:
+                            selector.modify(sock, selectors.EVENT_READ)
+                    if mask & selectors.EVENT_READ:
+                        try:
+                            data = sock.recv(1 << 20)
+                        except BlockingIOError:
+                            continue
+                        except OSError as exc:
+                            raise GatewayError(
+                                f"connection to {self.host}:{self.port} "
+                                f"failed mid-receive: {exc!r}") from None
+                        if not data:
+                            raise GatewayError(
+                                f"gateway at {self.host}:{self.port} closed "
+                                f"the connection with "
+                                f"{len(expected) - len(results)} request(s) "
+                                "outstanding")
+                        for reply in buffer.feed(data):
+                            _raise_if_fatal(reply)
+                            if reply.request_id in expected:
+                                results[reply.request_id] = reply
+            return results
+        except FrameError as exc:
+            raise GatewayError(
+                f"gateway at {self.host}:{self.port} sent a malformed "
+                f"frame: {exc}") from None
+        finally:
+            selector.close()
+            sock.setblocking(True)
+            sock.settimeout(self.timeout)
+
+
+class AsyncGatewayClient:
+    """Asyncio client: ``await connect(...)``, then ``await submit(...)``.
+
+    A background reader task resolves each in-flight future as its reply
+    frame arrives, so any number of :meth:`submit` coroutines can be in
+    flight concurrently (``submit_many`` is a thin ``gather`` over them).
+    """
+
+    def __init__(self, host: str, port: int,
+                 max_frame_bytes: int = 64 << 20) -> None:
+        self.host, self.port = host, int(port)
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 1
+        self._closed = False
+        #: Terminal connection failure; set by the reader task so later
+        #: submits fail fast instead of awaiting a reply that can't come.
+        self._dead: GatewayError | None = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int,
+                      max_frame_bytes: int = 64 << 20) -> "AsyncGatewayClient":
+        client = cls(host, port, max_frame_bytes)
+        try:
+            client._reader, client._writer = await asyncio.open_connection(
+                host, port)
+        except OSError as exc:
+            raise _connect_error(host, port, exc) from None
+        client._reader_task = asyncio.ensure_future(client._read_replies())
+        return client
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):   # noqa: BLE001
+                pass
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_pending(GatewayError(
+            f"client connection to {self.host}:{self.port} closed with "
+            f"{len(self._pending)} request(s) outstanding"))
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------- submission
+    async def submit(self, key: str, samples) -> np.ndarray:
+        if self._closed or self._writer is None:
+            raise GatewayError(
+                f"client connection to {self.host}:{self.port} is closed")
+        if self._dead is not None:
+            raise self._dead
+        request_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(protocol.encode_request(request_id, key,
+                                                       samples))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise self._dead or GatewayError(
+                f"connection to {self.host}:{self.port} failed mid-send: "
+                f"{exc!r}") from None
+        return await future
+
+    async def submit_many(self, requests, return_errors: bool = False) -> list:
+        """Concurrent :meth:`submit` of ``(key, samples)`` pairs, in order."""
+        results = await asyncio.gather(
+            *(self.submit(key, samples) for key, samples in requests),
+            return_exceptions=True)
+        outputs = []
+        for result in results:
+            if isinstance(result, BaseException):
+                if not return_errors or not isinstance(result, GatewayError):
+                    raise result
+                outputs.append(result)
+            else:
+                outputs.append(result)
+        return outputs
+
+    # ---------------------------------------------------------------- replies
+    async def _read_replies(self) -> None:
+        reader = self._reader
+        assert reader is not None
+        try:
+            while True:
+                head = await reader.readexactly(protocol.LENGTH_PREFIX.size)
+                (length,) = protocol.LENGTH_PREFIX.unpack(head)
+                if length > self.max_frame_bytes:
+                    raise GatewayError(
+                        f"gateway sent a frame of {length} bytes, beyond "
+                        f"this client's max_frame_bytes={self.max_frame_bytes}")
+                reply = protocol.decode_payload(
+                    await reader.readexactly(length))
+                _raise_if_fatal(reply)
+                future = self._pending.pop(reply.request_id, None)
+                if future is None or future.done():
+                    continue
+                if isinstance(reply, protocol.Result):
+                    future.set_result(reply.outputs)
+                else:
+                    future.set_exception(GatewayError(
+                        f"request {reply.request_id} failed "
+                        f"(code {reply.code}): {reply.message}"))
+        except asyncio.CancelledError:
+            raise
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            self._fail_pending(GatewayError(
+                f"gateway at {self.host}:{self.port} closed the connection "
+                f"with {len(self._pending)} request(s) outstanding"))
+        except GatewayError as exc:
+            self._fail_pending(exc)
+
+    def _fail_pending(self, exc: GatewayError) -> None:
+        if self._dead is None:
+            self._dead = exc
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)

@@ -1,0 +1,255 @@
+"""Gateway wire protocol: length-prefixed binary frames, stdlib only.
+
+One frame is a 4-byte big-endian payload length followed by the payload.
+Every payload starts with a fixed 12-byte prefix::
+
+    !HBBQ   magic 0x5247 ('RG') | version | message type | request id
+
+followed by a per-type body:
+
+* **REQUEST** (client → gateway): ``!BIH`` dtype code | n_steps (shape
+  header) | key length, then the model key (ASCII) and the raw samples —
+  ``n_steps`` little-endian float64 values.  The explicit dtype/shape header
+  lets the gateway validate the body *before* touching the model server:
+  a declared shape that disagrees with the byte count is a malformed frame,
+  not a garbled model input.
+* **RESULT** (gateway → client): ``!BI`` dtype code | n_steps, then the raw
+  little-endian float64 output row.
+* **ERROR** (gateway → client): ``!H`` error code, then a UTF-8 message.
+  ``request_id`` names the request being failed; ``request_id == 0`` means
+  the error is connection-fatal (the gateway could not trust the stream any
+  further and is closing it).
+
+Decoding raises :class:`~repro.exceptions.FrameError` with the recovered
+``request_id`` (when the fixed prefix was intact) and the wire error code,
+so a server can fail exactly the offending request — or only the offending
+connection — and a client can map a reply onto the caller that sent it.
+
+The request id is chosen by the client (non-zero, unique among its in-flight
+requests on that connection); the gateway echoes it verbatim.  Replies may
+arrive in any order — different models complete on different dispatch lanes.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import FrameError
+
+__all__ = [
+    "DTYPE_FLOAT64",
+    "ERROR",
+    "ErrorReply",
+    "MAX_KEY_BYTES",
+    "PROTOCOL_VERSION",
+    "REQUEST",
+    "RESULT",
+    "Request",
+    "Result",
+    "E_BAD_FRAME",
+    "E_BAD_REQUEST",
+    "E_CONNECTION_LIMIT",
+    "E_FRAME_TOO_LARGE",
+    "E_INTERNAL",
+    "E_SERVER_CLOSED",
+    "encode_error",
+    "encode_request",
+    "encode_result",
+    "decode_payload",
+    "frame_overhead",
+]
+
+#: ``'RG'`` — repro gateway.
+MAGIC = 0x5247
+PROTOCOL_VERSION = 1
+
+# Message types.
+REQUEST, RESULT, ERROR = 1, 2, 3
+
+#: Sample dtype codes (float64 is the only one the runtime serves today; the
+#: byte exists so the protocol can grow without a version bump).
+DTYPE_FLOAT64 = 1
+
+# Error codes carried by ERROR frames.
+E_BAD_FRAME = 1          #: malformed payload (magic/version/type/body)
+E_BAD_REQUEST = 2        #: the model server rejected the request at submit
+E_SERVER_CLOSED = 3      #: the model server behind the gateway is closed
+E_INTERNAL = 4           #: evaluation failed server-side
+E_FRAME_TOO_LARGE = 5    #: length prefix exceeded ``max_frame_bytes``
+E_CONNECTION_LIMIT = 6   #: refused by ``max_connections`` admission control
+
+MAX_KEY_BYTES = 512
+
+LENGTH_PREFIX = struct.Struct("!I")
+_PREFIX = struct.Struct("!HBBQ")
+_REQUEST_HEAD = struct.Struct("!BIH")
+_RESULT_HEAD = struct.Struct("!BI")
+_ERROR_HEAD = struct.Struct("!H")
+
+#: Wire dtype of every sample/output payload: little-endian float64,
+#: independent of host byte order.
+WIRE_DTYPE = np.dtype("<f8")
+
+
+@dataclass(frozen=True)
+class Request:
+    """A decoded request frame."""
+
+    request_id: int
+    key: str
+    samples: np.ndarray
+
+
+@dataclass(frozen=True)
+class Result:
+    """A decoded result frame."""
+
+    request_id: int
+    outputs: np.ndarray
+
+
+@dataclass(frozen=True)
+class ErrorReply:
+    """A decoded error frame (``request_id == 0`` → connection-fatal)."""
+
+    request_id: int
+    code: int
+    message: str
+
+
+def frame_overhead(key: str = "") -> int:
+    """Bytes a request frame adds on top of the raw sample payload."""
+    return (LENGTH_PREFIX.size + _PREFIX.size + _REQUEST_HEAD.size
+            + len(key.encode("ascii")))
+
+
+def _frame(payload: bytes) -> bytes:
+    return LENGTH_PREFIX.pack(len(payload)) + payload
+
+
+def encode_request(request_id: int, key: str, samples) -> bytes:
+    """One request frame (length prefix included)."""
+    if request_id < 1:
+        raise FrameError("request_id must be a positive integer (0 is the "
+                         "connection-fatal sentinel)")
+    try:
+        key_bytes = key.encode("ascii")
+    except UnicodeEncodeError as exc:
+        raise FrameError(f"model key must be ASCII: {exc}") from None
+    if not key_bytes or len(key_bytes) > MAX_KEY_BYTES:
+        raise FrameError(f"model key must be 1..{MAX_KEY_BYTES} ASCII bytes; "
+                         f"got {len(key_bytes)}")
+    body = np.ascontiguousarray(np.asarray(samples, dtype=float).ravel(),
+                                dtype=WIRE_DTYPE).tobytes()
+    n_steps = len(body) // WIRE_DTYPE.itemsize
+    payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, REQUEST, request_id)
+               + _REQUEST_HEAD.pack(DTYPE_FLOAT64, n_steps, len(key_bytes))
+               + key_bytes + body)
+    return _frame(payload)
+
+
+def encode_result(request_id: int, outputs) -> bytes:
+    """One result frame (length prefix included)."""
+    body = np.ascontiguousarray(np.asarray(outputs, dtype=float).ravel(),
+                                dtype=WIRE_DTYPE).tobytes()
+    n_steps = len(body) // WIRE_DTYPE.itemsize
+    payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, RESULT, request_id)
+               + _RESULT_HEAD.pack(DTYPE_FLOAT64, n_steps) + body)
+    return _frame(payload)
+
+
+def encode_error(request_id: int, code: int, message: str) -> bytes:
+    """One error frame (length prefix included)."""
+    payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, ERROR, request_id)
+               + _ERROR_HEAD.pack(code) + message.encode("utf-8"))
+    return _frame(payload)
+
+
+def decode_payload(payload: bytes) -> Request | Result | ErrorReply:
+    """Decode one frame payload (the bytes after the length prefix).
+
+    Raises :class:`~repro.exceptions.FrameError` on any malformation,
+    carrying the request id when the 12-byte fixed prefix was readable so
+    the error can be attributed to the offending request.
+    """
+    if len(payload) < _PREFIX.size:
+        raise FrameError(
+            f"truncated frame header: {len(payload)} byte(s), need at least "
+            f"{_PREFIX.size}", code=E_BAD_FRAME)
+    magic, version, msg_type, request_id = _PREFIX.unpack_from(payload)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic 0x{magic:04x} (expected "
+                         f"0x{MAGIC:04x})", code=E_BAD_FRAME)
+    if version != PROTOCOL_VERSION:
+        raise FrameError(
+            f"unsupported protocol version {version} (this gateway speaks "
+            f"version {PROTOCOL_VERSION})", code=E_BAD_FRAME)
+    body = payload[_PREFIX.size:]
+    if msg_type == REQUEST:
+        return _decode_request(request_id, body)
+    if msg_type == RESULT:
+        return _decode_result(request_id, body)
+    if msg_type == ERROR:
+        if len(body) < _ERROR_HEAD.size:
+            raise FrameError("truncated error frame", request_id=request_id,
+                             code=E_BAD_FRAME)
+        (code,) = _ERROR_HEAD.unpack_from(body)
+        message = body[_ERROR_HEAD.size:].decode("utf-8", errors="replace")
+        return ErrorReply(request_id=request_id, code=code, message=message)
+    raise FrameError(f"unknown message type {msg_type}",
+                     request_id=request_id, code=E_BAD_FRAME)
+
+
+def _samples_from(body: bytes, n_steps: int, request_id: int,
+                  what: str) -> np.ndarray:
+    if len(body) != n_steps * WIRE_DTYPE.itemsize:
+        raise FrameError(
+            f"{what} shape header declares {n_steps} float64 sample(s) "
+            f"({n_steps * WIRE_DTYPE.itemsize} bytes) but the frame carries "
+            f"{len(body)} byte(s)", request_id=request_id, code=E_BAD_FRAME)
+    # Native float64 for the runtime; no copy on little-endian hosts.
+    return np.frombuffer(body, dtype=WIRE_DTYPE).astype(np.float64, copy=False)
+
+
+def _decode_request(request_id: int, body: bytes) -> Request:
+    if request_id < 1:
+        raise FrameError("request frames need a positive request_id",
+                         code=E_BAD_FRAME)
+    if len(body) < _REQUEST_HEAD.size:
+        raise FrameError("truncated request header", request_id=request_id,
+                         code=E_BAD_FRAME)
+    dtype_code, n_steps, key_len = _REQUEST_HEAD.unpack_from(body)
+    if dtype_code != DTYPE_FLOAT64:
+        raise FrameError(
+            f"unsupported dtype code {dtype_code} (this gateway serves "
+            f"float64 = code {DTYPE_FLOAT64})", request_id=request_id,
+            code=E_BAD_FRAME)
+    rest = body[_REQUEST_HEAD.size:]
+    if key_len < 1 or key_len > MAX_KEY_BYTES or len(rest) < key_len:
+        raise FrameError(
+            f"bad model-key length {key_len} (1..{MAX_KEY_BYTES}, frame has "
+            f"{len(rest)} byte(s) after the header)", request_id=request_id,
+            code=E_BAD_FRAME)
+    try:
+        key = rest[:key_len].decode("ascii")
+    except UnicodeDecodeError as exc:
+        raise FrameError(f"model key is not ASCII: {exc}",
+                         request_id=request_id, code=E_BAD_FRAME) from None
+    samples = _samples_from(rest[key_len:], n_steps, request_id, "request")
+    return Request(request_id=request_id, key=key, samples=samples)
+
+
+def _decode_result(request_id: int, body: bytes) -> Result:
+    if len(body) < _RESULT_HEAD.size:
+        raise FrameError("truncated result header", request_id=request_id,
+                         code=E_BAD_FRAME)
+    dtype_code, n_steps = _RESULT_HEAD.unpack_from(body)
+    if dtype_code != DTYPE_FLOAT64:
+        raise FrameError(f"unsupported dtype code {dtype_code} in result",
+                         request_id=request_id, code=E_BAD_FRAME)
+    outputs = _samples_from(body[_RESULT_HEAD.size:], n_steps, request_id,
+                            "result")
+    return Result(request_id=request_id, outputs=outputs)

@@ -1,0 +1,404 @@
+"""Asyncio TCP front-end over a :class:`~repro.serve.server.ModelServer`.
+
+The :class:`Gateway` owns one event loop on a dedicated thread and speaks
+the length-prefixed binary protocol of :mod:`repro.gateway.protocol`.  Each
+request frame is validated and submitted into the model server's
+micro-batching scheduler; the per-request future's completion is bounced
+back onto the event loop, which writes the result (or error) frame to the
+connection that asked.  Because replies are matched by request id, a single
+connection can keep hundreds of requests in flight across many models — the
+per-model dispatch lanes answer them in whatever order batches complete.
+
+Admission control and backpressure, all from the serving policy:
+
+* ``max_connections`` — connections beyond the cap are refused with a named
+  error frame (code ``E_CONNECTION_LIMIT``) and closed, never buffered;
+* ``max_inflight_per_conn`` — a connection at its in-flight cap simply stops
+  being **read** until replies drain.  The TCP window then pushes back on
+  the client; the gateway never buffers an unbounded backlog, and the cap
+  also bounds each connection's outgoing reply queue;
+* ``max_frame_bytes`` — an oversized length prefix fails the connection with
+  a named error before any of the frame is read into memory.
+
+Failure isolation: a malformed frame whose request id is readable fails only
+that request (error frame, connection lives); a frame the stream cannot be
+re-synchronised after (bad magic, truncated or oversized header) fails only
+that connection (error frame with the ``request_id == 0`` connection-fatal
+sentinel, then close).  The model server, its dispatch lanes, and every
+other connection keep serving either way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from ..exceptions import GatewayError, ServeError, ServerClosedError
+from ..serve.server import ModelServer
+from ..serve.stats import GatewayCounters
+from . import protocol
+
+__all__ = ["Gateway"]
+
+
+#: Protocol-error frames a connection may have queued at once; a peer
+#: flooding malformed frames without reading its errors is paused (its
+#: socket stops being read) once these slots are taken.
+ERROR_FRAME_SLOTS = 4
+
+
+class _Connection:
+    """Loop-side state of one accepted connection."""
+
+    __slots__ = ("writer", "outgoing", "inflight", "error_slots",
+                 "reads_resumed", "alive")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        #: Reply frames waiting for the writer task.  The queue object is
+        #: unbounded but its occupancy is capped structurally: request
+        #: replies by the in-flight accounting (a slot frees only once its
+        #: reply is written), error frames by :data:`ERROR_FRAME_SLOTS`.
+        self.outgoing: asyncio.Queue = asyncio.Queue()
+        self.inflight = 0
+        self.error_slots = asyncio.Semaphore(ERROR_FRAME_SLOTS)
+        #: Set when a written reply drains the connection below its
+        #: in-flight cap.
+        self.reads_resumed = asyncio.Event()
+        self.alive = True
+
+
+class Gateway:
+    """TCP front-end: remote clients → micro-batching model server.
+
+    Parameters
+    ----------
+    server:
+        The :class:`~repro.serve.server.ModelServer` requests are submitted
+        into (the gateway does not own it — closing the gateway leaves the
+        server serving in-process callers).
+    host / port:
+        Bind address.  ``port=0`` (the default) picks a free port; the bound
+        port is available as :attr:`port` after :meth:`start`.
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`::
+
+        with ModelServer(registry, policy) as server:
+            with Gateway(server).start() as gateway:
+                client = GatewayClient(*gateway.address)
+    """
+
+    def __init__(self, server: ModelServer, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self._server = server
+        self.policy = server.policy
+        self.host = host
+        self.port = int(port)          # rebound to the real port on start()
+        self.counters = GatewayCounters()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._closed = False
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "Gateway":
+        """Bind, start serving on a dedicated event-loop thread, return self."""
+        if self._closed:
+            raise GatewayError(
+                f"gateway at {self.host}:{self.port} is closed; create a new "
+                "Gateway instead of restarting a closed one")
+        if self._thread is not None:
+            return self
+        # A retried start() (e.g. after a failed bind) must not observe the
+        # previous attempt's readiness flag or error.
+        self._started.clear()
+        self._startup_error = None
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-gateway", daemon=True)
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            self._thread.join()
+            self._thread = None
+            raise GatewayError(
+                f"gateway failed to bind {self.host}:{self.port}: "
+                f"{self._startup_error!r}")
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` the gateway is serving on."""
+        return (self.host, self.port)
+
+    def close(self) -> None:
+        """Stop accepting, drop open connections, stop the loop (idempotent).
+
+        The model server is left running; in-flight requests still resolve
+        server-side, but replies to dropped connections go nowhere.  After
+        ``close()`` the listening socket is gone — new client connects are
+        refused by the OS, which clients surface as a named
+        :class:`~repro.exceptions.GatewayError`.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        loop, shutdown = self._loop, self._shutdown
+        if loop is not None and shutdown is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(shutdown.set)
+            except RuntimeError:
+                pass                      # loop already torn down
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "Gateway":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> dict:
+        """Connection/frame counters plus the bind address."""
+        stats = self.counters.as_dict()
+        stats["address"] = f"{self.host}:{self.port}"
+        return stats
+
+    # ------------------------------------------------------------ event loop
+    def _thread_main(self) -> None:
+        try:
+            asyncio.run(self._main())
+        except BaseException as exc:   # noqa: BLE001 - surfaced via start()
+            self._startup_error = exc
+        finally:
+            self._started.set()
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        try:
+            server = await asyncio.start_server(
+                self._accept, self.host, self.port)
+        except OSError as exc:
+            self._startup_error = exc
+            return
+        self.port = server.sockets[0].getsockname()[1]
+        self._started.set()
+        async with server:
+            await self._shutdown.wait()
+            for task in list(self._conn_tasks):
+                task.cancel()
+            if self._conn_tasks:
+                await asyncio.gather(*self._conn_tasks,
+                                     return_exceptions=True)
+
+    async def _accept(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        counters = self.counters
+        if counters.n_open_connections >= self.policy.max_connections:
+            counters.n_rejected_connections += 1
+            writer.write(protocol.encode_error(
+                0, protocol.E_CONNECTION_LIMIT,
+                f"gateway connection limit reached: "
+                f"ServePolicy.max_connections="
+                f"{self.policy.max_connections} connection(s) already open"))
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            return
+        counters.n_connections += 1
+        counters.n_open_connections += 1
+        conn = _Connection(writer)
+        writer_task = asyncio.ensure_future(self._write_loop(conn))
+        try:
+            await self._read_loop(reader, conn)
+        finally:
+            conn.alive = False
+            # Let queued replies flush, then stop the writer — but never
+            # wait out a peer that stalled its reads (drain() would block
+            # forever); cancel the writer instead.
+            conn.outgoing.put_nowait(None)
+            try:
+                await asyncio.wait_for(writer_task, timeout=5.0)
+            except asyncio.TimeoutError:
+                writer_task.cancel()
+                try:
+                    await writer_task
+                except asyncio.CancelledError:
+                    pass
+            except asyncio.CancelledError:
+                writer_task.cancel()
+            counters.n_open_connections -= 1
+
+    async def _read_loop(self, reader: asyncio.StreamReader,
+                         conn: _Connection) -> None:
+        counters = self.counters
+        while True:
+            if not conn.alive:             # writer died: stop serving reads
+                return
+            # Backpressure: at the in-flight cap, stop reading this socket
+            # until a reply drains it below the cap (replies count as
+            # drained once written to the wire).
+            while conn.inflight >= self.policy.max_inflight_per_conn:
+                conn.reads_resumed.clear()
+                await conn.reads_resumed.wait()
+                if not conn.alive:
+                    return
+            try:
+                head = await reader.readexactly(protocol.LENGTH_PREFIX.size)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return                      # client went away
+            (length,) = protocol.LENGTH_PREFIX.unpack(head)
+            if length > self.policy.max_frame_bytes:
+                counters.n_protocol_errors += 1
+                await self._enqueue(conn, protocol.encode_error(
+                    0, protocol.E_FRAME_TOO_LARGE,
+                    f"frame of {length} bytes exceeds "
+                    f"ServePolicy.max_frame_bytes="
+                    f"{self.policy.max_frame_bytes}; closing this "
+                    "connection (the frame was not read)"))
+                return
+            try:
+                payload = await reader.readexactly(length)
+            except (asyncio.IncompleteReadError, ConnectionError, OSError):
+                return                      # truncated mid-frame: client died
+            counters.n_frames_in += 1
+            try:
+                message = protocol.decode_payload(payload)
+                if not isinstance(message, protocol.Request):
+                    raise_id = getattr(message, "request_id", 0)
+                    raise protocol.FrameError(
+                        "clients send request frames only",
+                        request_id=raise_id, code=protocol.E_BAD_FRAME)
+            except protocol.FrameError as err:
+                counters.n_protocol_errors += 1
+                code = err.code or protocol.E_BAD_FRAME
+                await self._enqueue(
+                    conn, protocol.encode_error(err.request_id, code,
+                                                str(err)))
+                if err.request_id == 0:
+                    # Without a request id the stream can't be trusted to be
+                    # in sync any more: fail this connection, nothing else.
+                    return
+                continue
+            await self._submit(conn, message)
+
+    async def _submit(self, conn: _Connection,
+                      message: protocol.Request) -> None:
+        counters = self.counters
+        try:
+            future = self._server.submit(message.key, message.samples)
+        except ServeError as exc:
+            counters.n_rejected_requests += 1
+            code = (protocol.E_SERVER_CLOSED
+                    if isinstance(exc, ServerClosedError)
+                    else protocol.E_BAD_REQUEST)
+            await self._enqueue(conn, protocol.encode_error(
+                message.request_id, code, str(exc)))
+            return
+        counters.n_requests += 1
+        conn.inflight += 1
+        request_id = message.request_id
+        future.add_done_callback(
+            lambda fut: self._reply_threadsafe(conn, request_id, fut))
+
+    # --------------------------------------------------------------- replies
+    def _reply_threadsafe(self, conn: _Connection, request_id: int,
+                          future) -> None:
+        """Future callback — runs on a dispatch-lane thread.
+
+        Must never raise into the lane's batch resolution: a gateway torn
+        down mid-flight silently drops the reply instead.
+        """
+        loop = self._loop
+        try:
+            if loop is None or loop.is_closed():
+                return
+            loop.call_soon_threadsafe(self._reply, conn, request_id, future)
+        except RuntimeError:
+            pass                           # loop shut down under us
+
+    def _reply(self, conn: _Connection, request_id: int, future) -> None:
+        if not conn.alive:
+            # The read loop is gone; its in-flight accounting with it.
+            return
+        if future.cancelled():
+            frame = protocol.encode_error(
+                request_id, protocol.E_INTERNAL, "request cancelled")
+        else:
+            exc = future.exception()
+            if exc is not None:
+                # An admitted request that failed server-side: not a
+                # rejection (those are counted at submit), just a failure
+                # relayed in its error frame.
+                frame = protocol.encode_error(
+                    request_id, protocol.E_INTERNAL, str(exc))
+            else:
+                frame = protocol.encode_result(request_id, future.result())
+        # The in-flight slot is released by the writer once this frame is
+        # actually on the wire (see _write_loop) — releasing it here would
+        # let a slow-draining client re-fill the queue beyond its cap while
+        # earlier replies still wait on its stalled socket.
+        conn.outgoing.put_nowait((frame, True))
+
+    async def _enqueue(self, conn: _Connection, frame: bytes) -> None:
+        """Queue a protocol-error frame, bounded by its own slot budget.
+
+        Blocking here pauses the read loop — a peer flooding malformed
+        frames without draining its error replies stops being read."""
+        if not conn.alive:
+            return
+        await conn.error_slots.acquire()
+        if not conn.alive:                 # writer died while we waited
+            conn.error_slots.release()
+            return
+        conn.outgoing.put_nowait((frame, False))
+
+    def _release_slot(self, conn: _Connection) -> None:
+        conn.inflight -= 1
+        conn.reads_resumed.set()
+
+    async def _write_loop(self, conn: _Connection) -> None:
+        try:
+            while True:
+                item = await conn.outgoing.get()
+                if item is None:
+                    return
+                frame, counts_inflight = item
+                conn.writer.write(frame)
+                self.counters.n_frames_out += 1
+                await conn.writer.drain()
+                if counts_inflight:
+                    self._release_slot(conn)
+                else:
+                    conn.error_slots.release()
+        except (ConnectionError, OSError):
+            conn.alive = False
+            # Unblock a reader parked on backpressure or on an error slot
+            # (it re-checks conn.alive on wake-up and exits).
+            conn.reads_resumed.set()
+            conn.error_slots.release()
+            # Drain until the read loop's sentinel arrives (nothing enqueues
+            # after it: the read loop has exited by then).
+            while True:
+                if await conn.outgoing.get() is None:
+                    return

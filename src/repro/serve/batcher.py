@@ -100,9 +100,19 @@ class MicroBatcher:
         self._groups: dict[tuple[str, int], _Group] = {}
 
     # ------------------------------------------------------------------ state
-    def pending(self) -> int:
-        """Requests enqueued but not yet closed into a batch."""
-        return sum(len(group.requests) for group in self._groups.values())
+    def pending(self, key: str | None = None) -> int:
+        """Requests enqueued but not yet closed into a batch.
+
+        With ``key``, only the open groups of that model are counted (the
+        per-model lane stats report this as the model's coalescing backlog).
+        """
+        return sum(len(group.requests)
+                   for (group_key, _), group in self._groups.items()
+                   if key is None or group_key == key)
+
+    def keys(self) -> set[str]:
+        """Model keys with at least one open (not yet closed) group."""
+        return {group_key for group_key, _ in self._groups}
 
     def next_deadline(self) -> float | None:
         """Earliest coalescing deadline among open groups (None when empty)."""
@@ -135,11 +145,20 @@ class MicroBatcher:
         return [self._close(key, self._groups.pop(key).requests, now)
                 for key in expired]
 
-    def drain(self, now: float) -> list[MicroBatch]:
-        """Close everything immediately (flush / shutdown path)."""
-        groups, self._groups = self._groups, {}
-        return [self._close(key, group.requests, now)
-                for key, group in groups.items()]
+    def drain(self, now: float, key: str | None = None) -> list[MicroBatch]:
+        """Close everything immediately (flush / shutdown path).
+
+        With ``key``, only that model's open groups are closed — the other
+        models' coalescing windows are left undisturbed.
+        """
+        if key is None:
+            groups, self._groups = self._groups, {}
+        else:
+            groups = {group_key: self._groups.pop(group_key)
+                      for group_key in [gk for gk in self._groups
+                                        if gk[0] == key]}
+        return [self._close(group_key, group.requests, now)
+                for group_key, group in groups.items()]
 
     def _close(self, group_key: tuple[str, int],
                requests: list[ServeRequest], now: float) -> MicroBatch:

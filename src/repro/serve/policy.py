@@ -41,8 +41,29 @@ class ServePolicy:
     #: submissions beyond it are rejected, not silently queued.
     max_queue_depth: int = 100_000
     #: Worker processes in the shard pool.  ``0`` evaluates batches inline in
-    #: the dispatcher thread — the single-process reference configuration.
+    #: the dispatching lane thread — the single-process reference
+    #: configuration.
     n_workers: int = 0
+    #: Dispatch lanes: each model key is pinned to one lane thread, and lanes
+    #: execute their batches concurrently (each leasing its own subset of
+    #: shard workers), so multi-model traffic overlaps instead of queueing
+    #: behind whichever model's batch happens to be running.  ``1``
+    #: reproduces the original single-lane dispatcher: every batch, for every
+    #: model, executes strictly one at a time.
+    n_lanes: int = 4
+    #: Admission control of the TCP gateway (:mod:`repro.gateway`):
+    #: connections beyond this are refused with a named error frame instead
+    #: of being accepted and buffered without bound.
+    max_connections: int = 1024
+    #: Per-connection in-flight request cap for the gateway.  A connection at
+    #: its cap simply stops being read until replies drain — backpressure
+    #: through the TCP window, not unbounded server-side buffering.  It also
+    #: bounds each connection's outgoing reply queue.
+    max_inflight_per_conn: int = 256
+    #: Largest frame (length prefix value, bytes) the gateway will read or a
+    #: client will accept.  An oversized frame fails its connection with a
+    #: named error — it is never read into memory.
+    max_frame_bytes: int = 64 << 20
     #: Shard-job retries after a worker crash before the affected requests
     #: fail (cleanly, with a ServeError — never a hang).
     max_retries: int = 2
@@ -61,6 +82,17 @@ class ServePolicy:
             raise ServeError("ServePolicy.max_queue_depth must be at least 1")
         if self.n_workers < 0:
             raise ServeError("ServePolicy.n_workers must be non-negative")
+        if self.n_lanes < 1:
+            raise ServeError("ServePolicy.n_lanes must be at least 1")
+        if self.max_connections < 1:
+            raise ServeError("ServePolicy.max_connections must be at least 1")
+        if self.max_inflight_per_conn < 1:
+            raise ServeError(
+                "ServePolicy.max_inflight_per_conn must be at least 1")
+        if self.max_frame_bytes < 64:
+            raise ServeError(
+                "ServePolicy.max_frame_bytes must be at least 64 (one frame "
+                "header plus a sample)")
         if self.max_retries < 0:
             raise ServeError("ServePolicy.max_retries must be non-negative")
         if self.cache_bytes < 0:

@@ -1,14 +1,19 @@
-"""The serving front-end: submit → coalesce → shard → respond.
+"""The serving front-end: submit → coalesce → lane-dispatch → shard → respond.
 
 :class:`ModelServer` accepts individual stimulus requests (model key +
-waveform sample array) and returns a future per request.  A dispatcher
-thread closes requests into lock-step micro-batches under the
-``max_batch`` / ``max_wait`` policy (:mod:`repro.serve.batcher`) and executes
-each batch either inline (``n_workers == 0``) or across the shard pool
-(:mod:`repro.serve.shards`).  Models come from a
-:class:`~repro.runtime.registry.ModelRegistry` and stay warm in byte-budget
-LRU caches, so one server instance can front far more registered models than
-fit in memory.
+waveform sample array) and returns a future per request.  Requests are closed
+into lock-step micro-batches under the ``max_batch`` / ``max_wait`` policy
+(:mod:`repro.serve.batcher`) and executed by **per-model dispatch lanes**:
+each model key is pinned to one lane thread (lanes are created on demand up
+to ``ServePolicy.n_lanes``; beyond that, keys share the least-loaded lane),
+and lanes execute their batches concurrently — each leasing its own subset
+of shard-pool workers (:mod:`repro.serve.shards`) — so traffic for one model
+never queues behind another model's running batch.  ``n_lanes=1`` reproduces
+the original single-lane dispatcher: one batch at a time, globally.
+
+A lightweight timer thread enforces the coalescing deadlines when no
+submissions are arriving; the submit path closes due batches too, so the
+``max_wait`` bound holds whenever any traffic is flowing.
 
 Request validation happens at **submit time**, in the caller's thread: an
 oversized, empty, non-finite or unknown-key request is rejected with a
@@ -19,7 +24,8 @@ would have joined.
 Every guarantee the batch runtime gives carries through: the outputs a
 future resolves to are bitwise-equal to evaluating the same rows through a
 single-process :meth:`CompiledModel.evaluate
-<repro.runtime.compiled.CompiledModel.evaluate>`.
+<repro.runtime.compiled.CompiledModel.evaluate>` (the batch kernel is
+bitwise chunk-invariant, so neither sharding nor lane count changes a bit).
 """
 
 from __future__ import annotations
@@ -32,13 +38,13 @@ from pathlib import Path
 
 import numpy as np
 
-from ..exceptions import ServeError
+from ..exceptions import ServeError, ServerClosedError
 from ..runtime.registry import ModelRegistry
 from .batcher import MicroBatch, MicroBatcher, ServeRequest
 from .cache import ModelCache
 from .policy import ServePolicy
 from .shards import ShardPool
-from .stats import LatencySummary, ServeStats
+from .stats import LatencySummary, ModelLaneStats, ServeStats
 
 __all__ = ["ModelServer"]
 
@@ -46,6 +52,45 @@ __all__ = ["ModelServer"]
 #: percentiles; a long-running server must not grow its accounting without
 #: bound alongside its traffic.
 LATENCY_WINDOW = 100_000
+
+#: Per-model latency window (each served model keeps its own, smaller one).
+MODEL_LATENCY_WINDOW = 20_000
+
+
+class _Lane:
+    """One dispatch lane: a daemon thread draining batches for its models."""
+
+    __slots__ = ("index", "keys", "queue", "ready", "executing", "thread")
+
+    def __init__(self, server: "ModelServer", index: int) -> None:
+        self.index = index
+        self.keys: set[str] = set()
+        self.queue: deque[MicroBatch] = deque()
+        #: Signalled (under the server lock) when a batch is routed here or
+        #: the server starts shutting down.
+        self.ready = threading.Condition(server._lock)
+        #: True while this lane's thread is inside a batch evaluation
+        #: (guarded by the server lock; feeds the fair-share worker split).
+        self.executing = False
+        self.thread = threading.Thread(
+            target=server._lane_run, args=(self,),
+            name=f"repro-serve-lane-{index}", daemon=True)
+
+
+class _ModelStats:
+    """Per-model accounting (guarded by the server lock)."""
+
+    __slots__ = ("lane", "n_batches", "n_rows", "n_completed", "n_failed",
+                 "queue_latencies", "e2e_latencies")
+
+    def __init__(self, lane: int) -> None:
+        self.lane = lane
+        self.n_batches = 0
+        self.n_rows = 0
+        self.n_completed = 0
+        self.n_failed = 0
+        self.queue_latencies: deque[float] = deque(maxlen=MODEL_LATENCY_WINDOW)
+        self.e2e_latencies: deque[float] = deque(maxlen=MODEL_LATENCY_WINDOW)
 
 
 class ModelServer:
@@ -57,31 +102,39 @@ class ModelServer:
         The :class:`~repro.runtime.registry.ModelRegistry` (or its root
         directory) holding the compiled models to serve.
     policy:
-        Batching / sharding / caching configuration.
+        Batching / lane / sharding / caching configuration.
     fault_injection:
         Test instrumentation forwarded to the shard pool (crash-once keys).
+    delay_injection:
+        Benchmark instrumentation forwarded to the shard pool (per-job
+        worker stall in seconds, modelling remote-shard latency).
     """
 
     def __init__(self, registry: ModelRegistry | str | Path,
                  policy: ServePolicy | None = None,
-                 fault_injection=None) -> None:
+                 fault_injection=None, delay_injection: float = 0.0) -> None:
         self.policy = policy or ServePolicy()
         self.policy.validate()
         self.registry = (registry if isinstance(registry, ModelRegistry)
                          else ModelRegistry(registry))
         self._cache = ModelCache(self.policy.cache_bytes)
+        self._cache_lock = threading.Lock()
         self._pool: ShardPool | None = None
         if self.policy.n_workers > 0:
             self._pool = ShardPool(
                 self.registry.root, self.policy.n_workers,
                 cache_bytes=self.policy.cache_bytes,
                 max_retries=self.policy.max_retries,
-                fault_injection=fault_injection)
+                fault_injection=fault_injection,
+                delay_injection=delay_injection)
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
         self._batcher = MicroBatcher(self.policy.max_batch, self.policy.max_wait)
-        self._ready: deque[MicroBatch] = deque()
         self._closed = False
+        # Dispatch lanes (guarded by _lock): created on demand as model keys
+        # first appear, up to policy.n_lanes; then keys share lanes.
+        self._lanes: list[_Lane] = []
+        self._lane_by_key: dict[str, _Lane] = {}
         # Counters and windowed latency populations (guarded by _lock).
         self._n_submitted = 0
         self._n_completed = 0
@@ -90,13 +143,98 @@ class ModelServer:
         self._n_rows_batched = 0
         #: Requests accepted but not yet resolved/failed — the real backlog
         #: the ``max_queue_depth`` limit guards (batcher queues AND closed
-        #: batches waiting on / inside the dispatcher).
+        #: batches waiting on / inside a lane).
         self._n_inflight = 0
         self._queue_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
         self._e2e_latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
-        self._dispatcher = threading.Thread(
-            target=self._run, name="repro-serve-dispatcher", daemon=True)
-        self._dispatcher.start()
+        self._model_stats: dict[str, _ModelStats] = {}
+        self._timer = threading.Thread(
+            target=self._timer_run, name="repro-serve-timer", daemon=True)
+        self._timer.start()
+
+    def describe(self) -> str:
+        return (f"ModelServer({self.registry.root}, "
+                f"n_lanes={self.policy.n_lanes}, "
+                f"n_workers={self.policy.n_workers})")
+
+    # ------------------------------------------------------------------ lanes
+    def _lane_for(self, key: str) -> _Lane:
+        """The lane serving ``key`` (created/assigned on first sight).
+
+        Caller holds ``_lock``.
+        """
+        lane = self._lane_by_key.get(key)
+        if lane is None:
+            if len(self._lanes) < self.policy.n_lanes:
+                lane = _Lane(self, len(self._lanes))
+                self._lanes.append(lane)
+                lane.thread.start()
+            else:
+                lane = min(self._lanes, key=lambda lane: len(lane.keys))
+            lane.keys.add(key)
+            self._lane_by_key[key] = lane
+            self._model_stats[key] = _ModelStats(lane.index)
+        return lane
+
+    def _route(self, batches) -> None:
+        """Hand closed batches to their lanes (caller holds ``_lock``)."""
+        for batch in batches:
+            lane = self._lane_for(batch.key)
+            lane.queue.append(batch)
+            lane.ready.notify_all()
+
+    def _lane_run(self, lane: _Lane) -> None:
+        while True:
+            with self._lock:
+                lane.executing = False
+                while not lane.queue:
+                    if self._closed:
+                        return
+                    lane.ready.wait()
+                batch = lane.queue.popleft()
+                lane.executing = True
+            self._execute(batch)
+
+    def _worker_share(self) -> int:
+        """Fair share of shard workers for one dispatching lane.
+
+        The pool's lease is first-come-first-served, so without a cap the
+        first lane to dispatch would grab every free worker and serialise
+        the other lanes behind its batch.  The share divides the pool by the
+        number of lanes that currently have work — executing, queued, or
+        still coalescing requests in the batcher (counting model keys that
+        have not been assigned a lane yet as future lanes).
+        """
+        assert self._pool is not None
+        with self._lock:
+            busy = {lane.index for lane in self._lanes
+                    if lane.executing or lane.queue}
+            unassigned = 0
+            for key in self._batcher.keys():
+                lane = self._lane_by_key.get(key)
+                if lane is None:
+                    unassigned += 1
+                else:
+                    busy.add(lane.index)
+            # An unassigned key only adds concurrency if a lane can still be
+            # created for it; beyond the lane budget it will share an
+            # existing (already counted or serial) lane.
+            unassigned = min(unassigned,
+                             self.policy.n_lanes - len(self._lanes))
+        n_busy = max(1, len(busy) + unassigned)
+        return max(1, self._pool.n_workers // n_busy)
+
+    def _timer_run(self) -> None:
+        """Close overdue coalescing groups while traffic is quiet."""
+        while True:
+            with self._wakeup:
+                if self._closed:
+                    return
+                now = time.monotonic()
+                self._route(self._batcher.due(now))
+                deadline = self._batcher.next_deadline()
+                timeout = None if deadline is None else max(0.0, deadline - now)
+                self._wakeup.wait(timeout)
 
     # ------------------------------------------------------------- submission
     def submit(self, key: str, samples) -> Future:
@@ -129,7 +267,9 @@ class ModelServer:
         request = ServeRequest(key=key, samples=samples)
         with self._wakeup:
             if self._closed:
-                raise ServeError("server is closed")
+                raise ServerClosedError(
+                    f"{self.describe()} is closed; a submission after "
+                    "close() would enqueue a future that can never resolve")
             if self._n_inflight >= self.policy.max_queue_depth:
                 raise ServeError(
                     f"scheduler queue is full: ServePolicy.max_queue_depth="
@@ -139,11 +279,11 @@ class ModelServer:
             now = time.monotonic()
             batch = self._batcher.add(request, now)
             if batch is not None:
-                self._ready.append(batch)
-            # Close overdue groups from the submit path too: the dispatcher
-            # may be deep in a batch evaluation, and the max_wait bound must
+                self._route([batch])
+            # Close overdue groups from the submit path too: every lane may
+            # be deep in a batch evaluation, and the max_wait bound must
             # hold as long as *any* traffic is flowing.
-            self._ready.extend(self._batcher.due(now))
+            self._route(self._batcher.due(now))
             self._wakeup.notify()
         return request.future
 
@@ -156,35 +296,20 @@ class ModelServer:
         futures = [self.submit(key, row) for row in batch]
         return np.vstack([future.result() for future in futures])
 
-    # -------------------------------------------------------------- dispatcher
-    def _run(self) -> None:
-        while True:
-            with self._wakeup:
-                batch = None
-                while batch is None:
-                    if self._ready:
-                        batch = self._ready.popleft()
-                        break
-                    if self._closed and self._batcher.pending() == 0:
-                        return
-                    now = time.monotonic()
-                    due = self._batcher.due(now)
-                    if due:
-                        self._ready.extend(due)
-                        continue
-                    deadline = self._batcher.next_deadline()
-                    timeout = None if deadline is None else max(0.0, deadline - now)
-                    self._wakeup.wait(timeout)
-            self._execute(batch)
-
+    # -------------------------------------------------------------- execution
     def _execute(self, batch: MicroBatch) -> None:
         try:
             inputs = batch.stack()
             if self._pool is not None:
-                outputs = self._pool.evaluate(batch.key, inputs)
+                outputs = self._pool.evaluate(batch.key, inputs,
+                                              max_workers=self._worker_share())
             else:
-                model = self._cache.get_or_load(
-                    batch.key, lambda: self.registry.load(batch.key))
+                # The dispatcher cache is shared across lanes: loads are
+                # serialised under a lock, evaluation (a pure function of
+                # the model arrays) runs outside it.
+                with self._cache_lock:
+                    model = self._cache.get_or_load(
+                        batch.key, lambda: self.registry.load(batch.key))
                 outputs = model.evaluate(inputs)
             failure = None
         except Exception as exc:   # noqa: BLE001 - must resolve the futures
@@ -197,14 +322,27 @@ class ModelServer:
         with self._lock:
             self._n_batches += 1
             self._n_rows_batched += len(batch)
+            model = self._model_stats.get(batch.key)
+            if model is not None:
+                model.n_batches += 1
+                model.n_rows += len(batch)
             for request in batch.requests:
-                self._queue_latencies.append(request.t_closed - request.t_submit)
-                self._e2e_latencies.append(now - request.t_submit)
+                queue_s = request.t_closed - request.t_submit
+                e2e_s = now - request.t_submit
+                self._queue_latencies.append(queue_s)
+                self._e2e_latencies.append(e2e_s)
+                if model is not None:
+                    model.queue_latencies.append(queue_s)
+                    model.e2e_latencies.append(e2e_s)
             self._n_inflight -= len(batch)
             if failure is None:
                 self._n_completed += len(batch)
+                if model is not None:
+                    model.n_completed += len(batch)
             else:
                 self._n_failed += len(batch)
+                if model is not None:
+                    model.n_failed += len(batch)
         if failure is None:
             batch.resolve(outputs)
         else:
@@ -214,21 +352,29 @@ class ModelServer:
     def flush(self) -> None:
         """Close all partially-filled batches immediately (no waiting)."""
         with self._wakeup:
-            self._ready.extend(self._batcher.drain(time.monotonic()))
+            self._route(self._batcher.drain(time.monotonic()))
             self._wakeup.notify()
 
     def close(self, timeout: float | None = None) -> None:
-        """Drain pending work, stop the dispatcher and the shard pool.
+        """Drain pending work, stop the lanes, the timer and the shard pool.
 
         Every already-submitted future is resolved (or failed) before the
-        dispatcher exits; submissions after ``close`` raise.
+        lanes exit; submissions after ``close`` raise a
+        :class:`~repro.exceptions.ServeError` naming this server.
         """
         with self._wakeup:
             if not self._closed:
                 self._closed = True
-                self._ready.extend(self._batcher.drain(time.monotonic()))
-            self._wakeup.notify()
-        self._dispatcher.join(timeout)
+                self._route(self._batcher.drain(time.monotonic()))
+            # Wake the timer and every lane: queued batches are still
+            # processed (lanes only exit on an empty queue), then threads
+            # fall out on the closed flag.
+            self._wakeup.notify_all()
+            for lane in self._lanes:
+                lane.ready.notify_all()
+        self._timer.join(timeout)
+        for lane in self._lanes:
+            lane.thread.join(timeout)
         if self._pool is not None:
             self._pool.close()
 
@@ -243,8 +389,10 @@ class ModelServer:
         """Snapshot of counters and latency percentiles.
 
         Counters (and the mean batch size) are lifetime totals; the latency
-        percentiles summarise the most recent :data:`LATENCY_WINDOW`
-        samples.
+        percentiles summarise the most recent :data:`LATENCY_WINDOW` samples
+        (:data:`MODEL_LATENCY_WINDOW` per model).  Safe to call at any time,
+        including before the first batch completes — empty windows summarise
+        to zeros.
         """
         with self._lock:
             queue = list(self._queue_latencies)
@@ -252,6 +400,25 @@ class ModelServer:
             submitted, completed = self._n_submitted, self._n_completed
             failed, pending = self._n_failed, self._n_inflight
             n_batches, n_rows = self._n_batches, self._n_rows_batched
+            # Copy the raw windows only; the percentile math runs after the
+            # lock is released so a many-model stats() poll cannot stall
+            # submits and lane accounting behind it.
+            model_rows = [
+                (key, model.lane, model.n_batches, model.n_rows,
+                 model.n_completed, model.n_failed,
+                 self._batcher.pending(key),
+                 list(model.queue_latencies), list(model.e2e_latencies))
+                for key, model in self._model_stats.items()]
+            n_lanes = max(1, len(self._lanes))
+        per_model = {
+            key: ModelLaneStats(
+                key=key, lane=lane, n_batches=n_batches, n_rows=n_rows,
+                n_completed=n_completed, n_failed=n_failed,
+                n_coalescing=n_coalescing,
+                queue_latency=LatencySummary.of(queue_window),
+                e2e_latency=LatencySummary.of(e2e_window))
+            for (key, lane, n_batches, n_rows, n_completed, n_failed,
+                 n_coalescing, queue_window, e2e_window) in model_rows}
         return ServeStats(
             n_submitted=submitted, n_completed=completed, n_failed=failed,
             n_pending=pending, n_batches=n_batches,
@@ -260,4 +427,6 @@ class ModelServer:
             e2e_latency=LatencySummary.of(e2e),
             cache=self._cache.stats.as_dict(),
             pool=self._pool.stats() if self._pool is not None else {},
+            per_model=per_model,
+            n_lanes=n_lanes,
         )

@@ -9,7 +9,16 @@ Sharding is the deterministic contiguous partition of
 :func:`repro.runtime.batch.shard_slices`; because the batched kernel is
 element-wise along the batch axis and bitwise chunk-invariant, reassembling
 the shard results into the original row order reproduces the single-process
-``evaluate`` bit for bit.
+``evaluate`` bit for bit — for *any* number of shards, which is what lets
+concurrent callers lease different worker subsets.
+
+Concurrency model: workers are **leased per batch**.  An ``evaluate()`` call
+takes every currently-free worker (at least one — it blocks while none are
+free), shards its batch across exactly that lease, and returns the workers
+on completion.  A lone caller therefore still gets the whole pool, while
+concurrent callers — the per-model dispatch lanes of
+:class:`~repro.serve.server.ModelServer` — split the pool between them and
+execute their batches *simultaneously* instead of queueing on a global lock.
 
 Failure model: a worker that dies mid-batch (OOM-killed, segfaulted,
 ``kill -9``) is detected through its broken pipe / liveness check, respawned
@@ -25,6 +34,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 import traceback
 
 import numpy as np
@@ -41,13 +51,16 @@ _POLL_INTERVAL = 0.05
 
 
 def _worker_main(conn, registry_root: str, cache_bytes: int,
-                 fault_keys: frozenset[str]) -> None:
+                 fault_keys: frozenset[str], delay_s: float) -> None:
     """Worker loop: receive ``(job_id, key, rows)``, evaluate, send back.
 
     ``fault_keys`` is crash-injection instrumentation for the failure-path
     tests: serving a listed key terminates the process the way a segfault
     would (``os._exit``, no cleanup, no reply).  Respawned workers never
     inherit injections, which gives deterministic crash-once semantics.
+    ``delay_s`` is latency-injection instrumentation for the dispatch-lane
+    benchmark: every job stalls that long before evaluating, modelling the
+    I/O / remote-shard latency that per-model lanes exist to hide.
     """
     cache = ModelCache(cache_bytes)
     while True:
@@ -61,6 +74,8 @@ def _worker_main(conn, registry_root: str, cache_bytes: int,
         job_id, key, rows = message
         if key in fault_keys:
             os._exit(43)
+        if delay_s > 0.0:
+            time.sleep(delay_s)
         try:
             model = cache.get_or_load(key, ModelHandle(registry_root, key).load)
             outputs = model.evaluate(rows)
@@ -97,11 +112,15 @@ class ShardPool:
     fault_injection:
         Test instrumentation: model keys whose service crashes the first
         worker that picks them up (see :func:`_worker_main`).
+    delay_injection:
+        Benchmark instrumentation: a per-job stall (seconds) in every
+        worker, modelling remote-shard / I/O latency (see
+        :func:`_worker_main`).  Unlike fault injection it survives respawns.
     """
 
     def __init__(self, registry_root, n_workers: int, cache_bytes: int = 256 << 20,
                  max_retries: int = 2, mp_context: str | None = None,
-                 fault_injection=None) -> None:
+                 fault_injection=None, delay_injection: float = 0.0) -> None:
         if n_workers < 1:
             raise ServeError("ShardPool needs at least one worker")
         self.registry_root = str(registry_root)
@@ -109,9 +128,13 @@ class ShardPool:
         self.max_retries = int(max_retries)
         self._ctx = multiprocessing.get_context(mp_context)
         self._fault_keys = frozenset(fault_injection or ())
-        #: One batch at a time: the reply-matching protocol assumes a single
-        #: reader per pipe, so concurrent evaluate() calls serialise here.
-        self._evaluate_lock = threading.Lock()
+        self._delay_s = float(delay_injection)
+        #: Worker leasing: each evaluate() call takes some exclusive subset
+        #: of worker indices (every free one, at least one) and returns them
+        #: when its batch is collected.  The condition's lock also guards the
+        #: job-id sequence and the public counters.
+        self._lease = threading.Condition()
+        self._free: set[int] = set(range(int(n_workers)))
         self.respawns = 0
         self.retried_jobs = 0
         self._closed = False
@@ -131,14 +154,19 @@ class ShardPool:
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(child_conn, self.registry_root, self.cache_bytes, fault_keys),
+            args=(child_conn, self.registry_root, self.cache_bytes, fault_keys,
+                  self._delay_s),
             daemon=True)
         process.start()
         child_conn.close()      # parent's copy; the worker holds the live end
         return _Worker(process, parent_conn)
 
     def _respawn(self, index: int) -> None:
-        """Replace a dead worker with a fresh one (cold cache, no faults)."""
+        """Replace a dead worker with a fresh one (cold cache, no faults).
+
+        Only ever called by the thread currently holding worker ``index``'s
+        lease, so the slot mutation needs no extra locking.
+        """
         worker = self._workers[index]
         try:
             worker.conn.close()
@@ -148,7 +176,8 @@ class ShardPool:
             worker.process.terminate()
         worker.process.join(timeout=5.0)
         self._workers[index] = self._spawn(frozenset())
-        self.respawns += 1
+        with self._lease:
+            self.respawns += 1
 
     # --------------------------------------------------------------- transport
     def _send(self, index: int, payload) -> bool:
@@ -187,28 +216,65 @@ class ShardPool:
                     pass
                 return None
 
+    # ----------------------------------------------------------------- leasing
+    def _acquire_workers(self, max_needed: int) -> list[int]:
+        """Lease up to ``max_needed`` free worker indices (at least one).
+
+        Blocks while no worker is free; raises once the pool is closed — a
+        caller blocked here must not wait forever on workers that are being
+        shut down.
+        """
+        with self._lease:
+            while True:
+                if self._closed:
+                    raise ServeError("shard pool is closed")
+                if self._free:
+                    leased = sorted(self._free)[:max(1, max_needed)]
+                    self._free.difference_update(leased)
+                    return leased
+                self._lease.wait()
+
+    def _release_workers(self, leased: list[int]) -> None:
+        with self._lease:
+            self._free.update(leased)
+            self._lease.notify_all()
+
     # --------------------------------------------------------------- execution
-    def evaluate(self, key: str, inputs: np.ndarray) -> np.ndarray:
-        """Evaluate a lock-step batch, sharded across the pool.
+    def evaluate(self, key: str, inputs: np.ndarray,
+                 max_workers: int | None = None) -> np.ndarray:
+        """Evaluate a lock-step batch, sharded across leased workers.
 
         Returns outputs in the input's row order, bitwise-equal to a
         single-process :meth:`CompiledModel.evaluate
-        <repro.runtime.compiled.CompiledModel.evaluate>` of the same array.
+        <repro.runtime.compiled.CompiledModel.evaluate>` of the same array
+        (the batch kernel is bitwise chunk-invariant, so the lease size
+        never changes results).
 
-        Thread-safe by serialisation: the pool runs one batch at a time
-        (each pipe has exactly one reader), so concurrent callers queue on
-        an internal lock rather than corrupting each other's replies.
+        Thread-safe by leasing: each concurrent call owns a disjoint subset
+        of workers (each pipe still has exactly one reader — the lease
+        holder), so batches for different models execute simultaneously.
+        ``max_workers`` caps this call's lease — a fair-share hint from the
+        dispatch lanes so the first lane to dispatch cannot starve the
+        others by grabbing the whole pool; a lone caller (no cap) leases
+        every free worker.
         """
         if self._closed:
             raise ServeError("shard pool is closed")
         inputs = np.asarray(inputs, dtype=float)
         if inputs.ndim != 2 or inputs.shape[0] < 1:
             raise ServeError(f"shard batch must be (rows, n_steps); got {inputs.shape}")
-        with self._evaluate_lock:
-            return self._evaluate_locked(inputs, key)
+        cap = inputs.shape[0]
+        if max_workers is not None:
+            cap = min(cap, max(1, int(max_workers)))
+        leased = self._acquire_workers(cap)
+        try:
+            return self._evaluate_on(leased, key, inputs)
+        finally:
+            self._release_workers(leased)
 
-    def _evaluate_locked(self, inputs: np.ndarray, key: str) -> np.ndarray:
-        slices = shard_slices(inputs.shape[0], self.n_workers)
+    def _evaluate_on(self, leased: list[int], key: str,
+                     inputs: np.ndarray) -> np.ndarray:
+        slices = shard_slices(inputs.shape[0], len(leased))
         outputs = np.empty_like(inputs)
         pending = list(range(len(slices)))
         crashes = [0] * len(slices)
@@ -216,7 +282,7 @@ class ShardPool:
             dispatched: list[tuple[int, int]] = []
             spawn_failure: int | None = None
             for job in pending:
-                job_id = self._dispatch(job, key, inputs[slices[job]])
+                job_id = self._dispatch(leased[job], key, inputs[slices[job]])
                 if job_id is None:
                     spawn_failure = job
                     break
@@ -225,14 +291,14 @@ class ShardPool:
             # abandoning an in-flight job would leave its worker blocked in a
             # send larger than the pipe buffer, and the next dispatch to that
             # worker would then deadlock against it.  Between rounds every
-            # worker is idle and every pipe drained.
+            # leased worker is idle and every leased pipe drained.
             pending = []
             failure: ServeError | None = None
             for job, job_id in dispatched:
-                reply = self._recv(job, job_id)
+                reply = self._recv(leased[job], job_id)
                 if reply is None:           # crash: respawn, maybe retry
                     crashes[job] += 1
-                    self._respawn(job)
+                    self._respawn(leased[job])
                     if crashes[job] > self.max_retries:
                         failure = failure or ServeError(
                             f"shard job for rows {slices[job]} of model "
@@ -240,7 +306,8 @@ class ShardPool:
                             f"retry budget max_retries={self.max_retries} "
                             "exhausted")
                         continue
-                    self.retried_jobs += 1
+                    with self._lease:
+                        self.retried_jobs += 1
                     pending.append(job)
                     continue
                 _, ok, payload = reply
@@ -261,8 +328,9 @@ class ShardPool:
     # ----------------------------------------------------------------- control
     def _dispatch(self, worker_index: int, key: str, rows: np.ndarray) -> int | None:
         """Send one job (respawning a dead worker once); returns its job id."""
-        self._sequence += 1
-        job_id = self._sequence
+        with self._lease:
+            self._sequence += 1
+            job_id = self._sequence
         if self._send(worker_index, (job_id, key, rows)):
             return job_id
         self._respawn(worker_index)
@@ -271,14 +339,30 @@ class ShardPool:
         return None
 
     def stats(self) -> dict:
-        return {"n_workers": self.n_workers, "respawns": self.respawns,
-                "retried_jobs": self.retried_jobs}
+        with self._lease:
+            return {"n_workers": self.n_workers, "respawns": self.respawns,
+                    "retried_jobs": self.retried_jobs,
+                    "free_workers": len(self._free)}
 
-    def close(self) -> None:
-        """Shut every worker down (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
+    def close(self, timeout: float = 10.0) -> None:
+        """Shut every worker down (idempotent).
+
+        Outstanding leases are given ``timeout`` seconds to return their
+        workers first, so a batch mid-collection is never raced for its
+        pipe; callers blocked waiting for a lease are woken and fail with a
+        "pool is closed" :class:`~repro.exceptions.ServeError`.
+        """
+        with self._lease:
+            if self._closed:
+                return
+            self._closed = True
+            self._lease.notify_all()
+            deadline = time.monotonic() + timeout
+            while len(self._free) < len(self._workers):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._lease.wait(remaining)
         for worker in self._workers:
             try:
                 worker.conn.send(None)

@@ -1,4 +1,4 @@
-"""Latency / throughput accounting of a running model server.
+"""Latency / throughput accounting of a running model server and gateway.
 
 The server records two timestamps per request on its monotonic clock —
 submission and batch closure — and takes the completion time when it
@@ -12,7 +12,15 @@ micro-batching deployment tunes against each other:
   including evaluation and any crash-retry stalls.
 
 :meth:`ModelServer.stats <repro.serve.server.ModelServer.stats>` snapshots
-these into a :class:`ServeStats` value with percentile summaries.
+these into a :class:`ServeStats` value with percentile summaries — both the
+server-wide populations and a per-model breakdown attributed to the dispatch
+lane serving each model.  The TCP gateway (:mod:`repro.gateway`) keeps its
+connection/frame accounting in a :class:`GatewayCounters`.
+
+Every summary here is **empty-window safe**: a freshly started server (or a
+model that has not completed a batch yet) reports zeroed percentiles, never
+NaN and never an indexing error, so dashboards can poll ``stats()`` from the
+moment the server starts.
 """
 
 from __future__ import annotations
@@ -21,12 +29,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["LatencySummary", "ServeStats"]
+__all__ = ["GatewayCounters", "LatencySummary", "ModelLaneStats", "ServeStats"]
 
 
 @dataclass(frozen=True)
 class LatencySummary:
-    """Percentile summary of one latency population (seconds)."""
+    """Percentile summary of one latency population (seconds).
+
+    Non-finite samples are dropped before the percentiles are taken, and an
+    empty (or all-non-finite) window summarises to zeros — querying a server
+    before its first batch completes must never trip on an empty percentile.
+    """
 
     count: int
     mean: float
@@ -37,7 +50,9 @@ class LatencySummary:
 
     @classmethod
     def of(cls, samples) -> "LatencySummary":
-        values = np.asarray(samples, dtype=float)
+        values = np.asarray(samples, dtype=float).ravel()
+        if values.size:
+            values = values[np.isfinite(values)]
         if values.size == 0:
             return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
         p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
@@ -45,9 +60,62 @@ class LatencySummary:
                    p50=float(p50), p90=float(p90), p99=float(p99),
                    max=float(values.max()))
 
+    def percentile(self, q: float) -> float:
+        """Interpolate an arbitrary percentile from the stored summary knots.
+
+        NaN-safe by construction: an empty summary answers 0.0 for every
+        ``q`` instead of propagating NaN into dashboards or gates.
+        """
+        if self.count == 0:
+            return 0.0
+        knots_q = [0.0, 50.0, 90.0, 99.0, 100.0]
+        knots_v = [min(self.p50, self.max), self.p50, self.p90, self.p99,
+                   self.max]
+        return float(np.interp(float(q), knots_q, knots_v))
+
     def as_dict(self) -> dict:
         return {"count": self.count, "mean_s": self.mean, "p50_s": self.p50,
                 "p90_s": self.p90, "p99_s": self.p99, "max_s": self.max}
+
+
+@dataclass(frozen=True)
+class ModelLaneStats:
+    """One model's share of the traffic, attributed to its dispatch lane."""
+
+    key: str
+    lane: int
+    n_batches: int
+    n_rows: int
+    n_completed: int
+    n_failed: int
+    n_coalescing: int
+    queue_latency: LatencySummary
+    e2e_latency: LatencySummary
+
+    @property
+    def mean_batch_size(self) -> float:
+        return (self.n_rows / self.n_batches) if self.n_batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "key": self.key,
+            "lane": self.lane,
+            "n_batches": self.n_batches,
+            "n_rows": self.n_rows,
+            "n_completed": self.n_completed,
+            "n_failed": self.n_failed,
+            "n_coalescing": self.n_coalescing,
+            "mean_batch_size": self.mean_batch_size,
+            "queue_latency": self.queue_latency.as_dict(),
+            "e2e_latency": self.e2e_latency.as_dict(),
+        }
+
+    def describe(self) -> str:
+        return (f"model {self.key[:12]}... [lane {self.lane}]: "
+                f"{self.n_completed} served / {self.n_failed} failed in "
+                f"{self.n_batches} batch(es) of {self.mean_batch_size:.1f} "
+                f"rows avg; queue p50 {self.queue_latency.p50 * 1e3:.2f} ms, "
+                f"e2e p50 {self.e2e_latency.p50 * 1e3:.2f} ms")
 
 
 @dataclass(frozen=True)
@@ -64,6 +132,10 @@ class ServeStats:
     e2e_latency: LatencySummary
     cache: dict = field(default_factory=dict)
     pool: dict = field(default_factory=dict)
+    #: Per-model breakdown keyed by model key (only models that have had at
+    #: least one request routed to a lane appear).
+    per_model: dict = field(default_factory=dict)
+    n_lanes: int = 1
 
     def as_dict(self) -> dict:
         return {
@@ -73,15 +145,64 @@ class ServeStats:
             "n_pending": self.n_pending,
             "n_batches": self.n_batches,
             "mean_batch_size": self.mean_batch_size,
+            "n_lanes": self.n_lanes,
             "queue_latency": self.queue_latency.as_dict(),
             "e2e_latency": self.e2e_latency.as_dict(),
             "cache": dict(self.cache),
             "pool": dict(self.pool),
+            "per_model": {key: stats.as_dict()
+                          for key, stats in self.per_model.items()},
         }
 
+    def describe(self, per_model: bool = True) -> str:
+        lines = [
+            f"served {self.n_completed}/{self.n_submitted} request(s) "
+            f"({self.n_failed} failed, {self.n_pending} pending) in "
+            f"{self.n_batches} batch(es) of {self.mean_batch_size:.1f} "
+            f"rows avg across {self.n_lanes} lane(s); queue p50 "
+            f"{self.queue_latency.p50 * 1e3:.2f} ms, e2e p50 "
+            f"{self.e2e_latency.p50 * 1e3:.2f} ms"]
+        if per_model:
+            lines.extend("  " + stats.describe()
+                         for stats in self.per_model.values())
+        return "\n".join(lines)
+
+
+class GatewayCounters:
+    """Mutable connection/frame counters of one gateway front-end.
+
+    Mutated only from the gateway's event-loop thread; snapshots via
+    :meth:`as_dict` are consistent enough for monitoring (single attribute
+    reads are atomic under the GIL).
+    """
+
+    __slots__ = ("n_connections", "n_open_connections",
+                 "n_rejected_connections", "n_frames_in", "n_frames_out",
+                 "n_requests", "n_rejected_requests", "n_protocol_errors")
+
+    def __init__(self) -> None:
+        #: Connections ever accepted (the admission-rejected ones excluded).
+        self.n_connections = 0
+        self.n_open_connections = 0
+        #: Connections refused by the ``max_connections`` admission limit.
+        self.n_rejected_connections = 0
+        self.n_frames_in = 0
+        self.n_frames_out = 0
+        #: Request frames admitted into the model server.
+        self.n_requests = 0
+        #: Request frames the model server rejected at submit time.
+        self.n_rejected_requests = 0
+        #: Malformed frames (bad magic/version/dtype, truncated, oversized).
+        self.n_protocol_errors = 0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
     def describe(self) -> str:
-        return (f"served {self.n_completed}/{self.n_submitted} request(s) "
-                f"({self.n_failed} failed, {self.n_pending} pending) in "
-                f"{self.n_batches} batch(es) of {self.mean_batch_size:.1f} "
-                f"rows avg; queue p50 {self.queue_latency.p50 * 1e3:.2f} ms, "
-                f"e2e p50 {self.e2e_latency.p50 * 1e3:.2f} ms")
+        return (f"{self.n_open_connections} open connection(s) "
+                f"({self.n_connections} accepted, "
+                f"{self.n_rejected_connections} refused); "
+                f"{self.n_frames_in} frame(s) in / {self.n_frames_out} out, "
+                f"{self.n_requests} request(s) admitted, "
+                f"{self.n_rejected_requests} rejected, "
+                f"{self.n_protocol_errors} protocol error(s)")

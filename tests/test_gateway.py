@@ -1,0 +1,410 @@
+"""Tests of the TCP gateway: protocol, live-socket round trips, isolation.
+
+Everything here runs over real sockets — the gateway binds an ephemeral
+port on 127.0.0.1 and the clients connect through the OS network stack; no
+transport is mocked.  The acceptance test round-trips 1000+ pipelined
+requests through one connection.
+"""
+
+import asyncio
+import socket
+import time
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FrameError, GatewayError, ServeError
+from repro.gateway import (
+    AsyncGatewayClient,
+    Gateway,
+    GatewayClient,
+    protocol,
+)
+from repro.runtime import ModelRegistry, compile_model, content_hash
+from repro.serve import ModelServer, ServePolicy
+from test_serve import small_model
+
+FUTURE_TIMEOUT = 60.0
+
+
+@pytest.fixture(scope="module")
+def compiled_pair():
+    return (compile_model(small_model(), dt=1e-9, input_range=(0.0, 1.0)),
+            compile_model(small_model(tau=2.0), dt=1e-9,
+                          input_range=(0.0, 1.0)))
+
+
+@pytest.fixture()
+def registry(compiled_pair, tmp_path):
+    registry = ModelRegistry(tmp_path / "models")
+    for compiled in compiled_pair:
+        registry.save(compiled)
+    return registry
+
+
+@pytest.fixture()
+def keys(compiled_pair):
+    return tuple(content_hash(compiled) for compiled in compiled_pair)
+
+
+def request_rows(n_rows: int = 16, n_steps: int = 64, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    return 0.5 + 0.3 * rng.standard_normal((n_rows, n_steps))
+
+
+# ------------------------------------------------------------------- protocol
+class TestProtocol:
+    def test_request_round_trip(self):
+        samples = np.linspace(0.0, 1.0, 17)
+        frame = protocol.encode_request(42, "deadbeef", samples)
+        (length,) = protocol.LENGTH_PREFIX.unpack_from(frame)
+        assert length == len(frame) - protocol.LENGTH_PREFIX.size
+        decoded = protocol.decode_payload(frame[4:])
+        assert isinstance(decoded, protocol.Request)
+        assert decoded.request_id == 42 and decoded.key == "deadbeef"
+        np.testing.assert_array_equal(decoded.samples, samples)
+
+    def test_result_and_error_round_trip(self):
+        outputs = np.arange(5.0)
+        result = protocol.decode_payload(
+            protocol.encode_result(7, outputs)[4:])
+        assert isinstance(result, protocol.Result) and result.request_id == 7
+        np.testing.assert_array_equal(result.outputs, outputs)
+        error = protocol.decode_payload(
+            protocol.encode_error(9, protocol.E_BAD_REQUEST, "nope")[4:])
+        assert isinstance(error, protocol.ErrorReply)
+        assert (error.request_id, error.code, error.message) == \
+            (9, protocol.E_BAD_REQUEST, "nope")
+
+    @pytest.mark.parametrize("payload, match", [
+        (b"\x00\x01\x02", "truncated frame header"),
+        (b"XX" + bytes(10), "bad frame magic"),
+        (struct.pack("!HBBQ", protocol.MAGIC, 99, protocol.REQUEST, 1),
+         "unsupported protocol version"),
+        (struct.pack("!HBBQ", protocol.MAGIC, protocol.PROTOCOL_VERSION,
+                     77, 1), "unknown message type"),
+    ])
+    def test_malformed_payloads_named(self, payload, match):
+        with pytest.raises(FrameError, match=match):
+            protocol.decode_payload(payload)
+
+    def test_wrong_dtype_keeps_request_id(self):
+        frame = bytearray(protocol.encode_request(5, "ab", np.zeros(4)))
+        frame[4 + 12] = 9                      # dtype code byte
+        with pytest.raises(FrameError, match="unsupported dtype code 9") as e:
+            protocol.decode_payload(bytes(frame[4:]))
+        assert e.value.request_id == 5
+
+    def test_shape_header_mismatch_named(self):
+        frame = protocol.encode_request(6, "ab", np.zeros(4))
+        with pytest.raises(FrameError, match="shape header declares"):
+            protocol.decode_payload(frame[4:-8])   # drop one sample
+
+    def test_request_id_zero_rejected(self):
+        with pytest.raises(FrameError, match="positive"):
+            protocol.encode_request(0, "ab", np.zeros(4))
+
+
+# ----------------------------------------------------------------- round trip
+class TestGatewayRoundTrip:
+    @pytest.fixture()
+    def serving(self, registry):
+        policy = ServePolicy(max_batch=32, max_wait=2e-3, n_lanes=2)
+        with ModelServer(registry, policy) as server:
+            with Gateway(server) as gateway:
+                yield server, gateway
+
+    def test_single_submit_bitwise_equal(self, serving, compiled_pair, keys):
+        _, gateway = serving
+        row = request_rows(1, 48)[0]
+        with GatewayClient(*gateway.address) as client:
+            output = client.submit(keys[0], row)
+        np.testing.assert_array_equal(output,
+                                      compiled_pair[0].evaluate(row))
+
+    def test_1200_requests_through_live_socket(self, serving, compiled_pair,
+                                               keys):
+        """Acceptance: 1000+ pipelined round trips, interleaved 2-model."""
+        server, gateway = serving
+        rows = request_rows(40, 64)
+        requests = [(keys[i % 2], rows[i % 40]) for i in range(1200)]
+        with GatewayClient(*gateway.address) as client:
+            outputs = client.submit_many(requests)
+        assert len(outputs) == 1200
+        for (key, row), output in zip(requests, outputs):
+            model = compiled_pair[keys.index(key)]
+            np.testing.assert_array_equal(output, model.evaluate(row))
+        stats = server.stats()
+        assert stats.n_completed >= 1200 and stats.n_failed == 0
+        assert {model.lane for model in stats.per_model.values()} == {0, 1}
+        assert gateway.counters.n_requests >= 1200
+
+    def test_async_client_round_trip(self, serving, compiled_pair, keys):
+        _, gateway = serving
+        rows = request_rows(8, 32, seed=3)
+
+        async def drive():
+            async with await AsyncGatewayClient.connect(
+                    *gateway.address) as client:
+                requests = [(keys[i % 2], rows[i % 8]) for i in range(64)]
+                return requests, await client.submit_many(requests)
+
+        requests, outputs = asyncio.run(drive())
+        for (key, row), output in zip(requests, outputs):
+            model = compiled_pair[keys.index(key)]
+            np.testing.assert_array_equal(output, model.evaluate(row))
+
+    def test_mixed_lengths_round_trip(self, serving, compiled_pair, keys):
+        _, gateway = serving
+        short, long = np.full(16, 0.4), np.full(48, 0.6)
+        with GatewayClient(*gateway.address) as client:
+            outputs = client.submit_many(
+                [(keys[0], short), (keys[0], long), (keys[1], short)])
+        np.testing.assert_array_equal(outputs[0],
+                                      compiled_pair[0].evaluate(short))
+        np.testing.assert_array_equal(outputs[1],
+                                      compiled_pair[0].evaluate(long))
+        np.testing.assert_array_equal(outputs[2],
+                                      compiled_pair[1].evaluate(short))
+
+    def test_backpressure_cap_still_serves_all(self, registry, compiled_pair,
+                                               keys):
+        """A tiny in-flight cap throttles reads, never loses requests."""
+        policy = ServePolicy(max_batch=8, max_wait=1e-3, n_lanes=2,
+                             max_inflight_per_conn=4)
+        rows = request_rows(20, 32, seed=5)
+        with ModelServer(registry, policy) as server:
+            with Gateway(server) as gateway:
+                with GatewayClient(*gateway.address) as client:
+                    outputs = client.submit_many(
+                        [(keys[i % 2], rows[i % 20]) for i in range(100)])
+        assert len(outputs) == 100
+        np.testing.assert_array_equal(
+            outputs[0], compiled_pair[0].evaluate(rows[0]))
+
+
+# ------------------------------------------------------- raw-socket utilities
+def raw_connection(gateway) -> socket.socket:
+    sock = socket.create_connection(gateway.address, timeout=10.0)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def read_reply(sock: socket.socket):
+    """One decoded reply frame off a raw socket (None on clean EOF)."""
+    head = b""
+    while len(head) < 4:
+        chunk = sock.recv(4 - len(head))
+        if not chunk:
+            return None
+        head += chunk
+    (length,) = protocol.LENGTH_PREFIX.unpack(head)
+    payload = b""
+    while len(payload) < length:
+        chunk = sock.recv(length - len(payload))
+        if not chunk:
+            return None
+        payload += chunk
+    return protocol.decode_payload(payload)
+
+
+def assert_closed(sock: socket.socket) -> None:
+    """The far end must close: the next read returns EOF, not data."""
+    assert read_reply(sock) is None
+
+
+# ------------------------------------------------------------ failure paths
+class TestGatewayFailureIsolation:
+    """Malformed traffic fails only its connection/request — never the lane
+    or the server (every test re-proves the server serves afterwards)."""
+
+    @pytest.fixture()
+    def serving(self, registry):
+        policy = ServePolicy(max_batch=8, max_wait=1e-3, n_lanes=2,
+                             max_frame_bytes=1 << 20)
+        with ModelServer(registry, policy) as server:
+            with Gateway(server) as gateway:
+                yield server, gateway
+
+    def still_serves(self, gateway, compiled_pair, keys):
+        row = request_rows(1, 24, seed=9)[0]
+        with GatewayClient(*gateway.address) as client:
+            output = client.submit(keys[0], row)
+        np.testing.assert_array_equal(output,
+                                      compiled_pair[0].evaluate(row))
+
+    def test_truncated_header_fails_only_that_connection(
+            self, serving, compiled_pair, keys):
+        _, gateway = serving
+        sock = raw_connection(gateway)
+        sock.sendall(protocol.LENGTH_PREFIX.pack(5) + b"\x01\x02\x03\x04\x05")
+        reply = read_reply(sock)
+        assert isinstance(reply, protocol.ErrorReply)
+        assert reply.request_id == 0           # connection-fatal sentinel
+        assert "truncated frame header" in reply.message
+        assert_closed(sock)
+        sock.close()
+        self.still_serves(gateway, compiled_pair, keys)
+
+    def test_oversized_frame_fails_only_that_connection(
+            self, serving, compiled_pair, keys):
+        _, gateway = serving
+        sock = raw_connection(gateway)
+        sock.sendall(protocol.LENGTH_PREFIX.pack(2 << 20))   # beyond policy
+        reply = read_reply(sock)
+        assert isinstance(reply, protocol.ErrorReply)
+        assert reply.request_id == 0
+        assert "max_frame_bytes" in reply.message
+        assert_closed(sock)
+        sock.close()
+        self.still_serves(gateway, compiled_pair, keys)
+
+    def test_wrong_dtype_fails_only_that_request(self, serving,
+                                                 compiled_pair, keys):
+        _, gateway = serving
+        sock = raw_connection(gateway)
+        frame = bytearray(protocol.encode_request(11, keys[0], np.zeros(8)))
+        frame[4 + 12] = 3                      # unsupported dtype code
+        sock.sendall(bytes(frame))
+        reply = read_reply(sock)
+        assert isinstance(reply, protocol.ErrorReply)
+        assert reply.request_id == 11
+        assert "unsupported dtype code 3" in reply.message
+        # Same connection keeps working afterwards.
+        row = request_rows(1, 24, seed=2)[0]
+        sock.sendall(protocol.encode_request(12, keys[0], row))
+        reply = read_reply(sock)
+        assert isinstance(reply, protocol.Result) and reply.request_id == 12
+        np.testing.assert_array_equal(reply.outputs,
+                                      compiled_pair[0].evaluate(row))
+        sock.close()
+
+    def test_unknown_model_key_fails_only_that_request(
+            self, serving, compiled_pair, keys):
+        _, gateway = serving
+        with GatewayClient(*gateway.address) as client:
+            outputs = client.submit_many(
+                [("f" * 64, np.full(16, 0.5)),
+                 (keys[0], np.full(16, 0.5))], return_errors=True)
+            assert isinstance(outputs[0], GatewayError)
+            assert "unknown model key" in str(outputs[0])
+            np.testing.assert_array_equal(
+                outputs[1], compiled_pair[0].evaluate(np.full(16, 0.5)))
+            with pytest.raises(GatewayError, match="unknown model key"):
+                client.submit_many([("f" * 64, np.full(16, 0.5))])
+        self.still_serves(gateway, compiled_pair, keys)
+
+    def test_non_finite_request_fails_only_that_request(
+            self, serving, compiled_pair, keys):
+        _, gateway = serving
+        bad = np.full(16, 0.5)
+        bad[3] = np.inf
+        with GatewayClient(*gateway.address) as client:
+            outputs = client.submit_many(
+                [(keys[0], bad), (keys[0], np.full(16, 0.5))],
+                return_errors=True)
+        assert isinstance(outputs[0], GatewayError)
+        assert "non-finite sample at step 3" in str(outputs[0])
+        assert not isinstance(outputs[1], GatewayError)
+
+    def test_connect_to_closed_gateway_named(self, registry):
+        server = ModelServer(registry, ServePolicy(max_batch=4,
+                                                   max_wait=1e-3))
+        gateway = Gateway(server).start()
+        address = gateway.address
+        gateway.close()
+        server.close()
+        with pytest.raises(GatewayError,
+                           match=r"could not connect to gateway at"):
+            GatewayClient(*address)
+
+    def test_submit_to_closed_server_behind_gateway_named(self, registry,
+                                                          keys):
+        """Gateway up, model server closed: requests fail with the server's
+        name, the connection (and gateway) stay up."""
+        server = ModelServer(registry, ServePolicy(max_batch=4,
+                                                   max_wait=1e-3))
+        with Gateway(server) as gateway:
+            server.close()
+            with GatewayClient(*gateway.address) as client:
+                outputs = client.submit_many(
+                    [(keys[0], np.full(8, 0.5))] * 3, return_errors=True)
+                assert all(isinstance(out, GatewayError) for out in outputs)
+                assert "ModelServer(" in str(outputs[0])
+                assert "is closed" in str(outputs[0])
+
+    def test_connection_limit_refused_with_named_error(self, registry,
+                                                       compiled_pair, keys):
+        policy = ServePolicy(max_batch=4, max_wait=1e-3, max_connections=1)
+        with ModelServer(registry, policy) as server:
+            with Gateway(server) as gateway:
+                with GatewayClient(*gateway.address) as first:
+                    sock = raw_connection(gateway)
+                    reply = read_reply(sock)
+                    assert isinstance(reply, protocol.ErrorReply)
+                    assert reply.code == protocol.E_CONNECTION_LIMIT
+                    assert "max_connections=1" in reply.message
+                    assert_closed(sock)
+                    sock.close()
+                    # The admitted connection is unaffected.
+                    row = request_rows(1, 16)[0]
+                    np.testing.assert_array_equal(
+                        first.submit(keys[0], row),
+                        compiled_pair[0].evaluate(row))
+                assert gateway.counters.n_rejected_connections == 1
+
+    def test_async_client_fails_fast_after_gateway_goes_away(self, registry,
+                                                             keys):
+        """A dead connection fails later submits immediately — no hang."""
+        server = ModelServer(registry, ServePolicy(max_batch=4,
+                                                   max_wait=1e-3))
+        gateway = Gateway(server).start()
+
+        async def drive():
+            client = await AsyncGatewayClient.connect(*gateway.address)
+            np.testing.assert_array_equal(
+                await client.submit(keys[0], np.full(8, 0.5)),
+                (await client.submit(keys[0], np.full(8, 0.5))))
+            gateway.close()
+            with pytest.raises(GatewayError):
+                for _ in range(50):          # dropped conn surfaces quickly
+                    await client.submit(keys[0], np.full(8, 0.5))
+            # ... and from then on every submit fails fast, not by timeout.
+            with pytest.raises(GatewayError):
+                await client.submit(keys[0], np.full(8, 0.5))
+            await client.close()
+
+        try:
+            asyncio.run(drive())
+        finally:
+            gateway.close()
+            server.close()
+
+    def test_gateway_close_is_idempotent_and_restart_refused(self, registry):
+        server = ModelServer(registry, ServePolicy(max_batch=4,
+                                                   max_wait=1e-3))
+        gateway = Gateway(server).start()
+        gateway.close()
+        gateway.close()
+        with pytest.raises(GatewayError, match="is closed"):
+            gateway.start()
+        server.close()
+
+    def test_counters_track_traffic(self, serving, keys):
+        _, gateway = serving
+        with GatewayClient(*gateway.address) as client:
+            client.submit_many([(keys[0], np.full(16, 0.5))] * 5)
+        counters = gateway.counters
+        assert counters.n_connections >= 1
+        assert counters.n_frames_in >= 5
+        # The out-counter is bumped on the event loop right after the write
+        # syscall; give that thread a beat to finish its bookkeeping.
+        deadline = time.monotonic() + 5.0
+        while counters.n_frames_out < 5 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert counters.n_frames_out >= 5
+        assert counters.n_requests >= 5
+        assert "connection" in counters.describe()
+        stats = gateway.stats()
+        assert stats["address"].startswith("127.0.0.1:")

@@ -1,17 +1,19 @@
-"""Tests of the serving layer: micro-batching, sharding, caching, failure paths."""
+"""Tests of the serving layer: micro-batching, lanes, sharding, failure paths."""
 
 import os
 import signal
+import threading
 import time
 
 import numpy as np
 import pytest
 
-from repro.exceptions import ServeError
+from repro.exceptions import ServeError, ServerClosedError
 from repro.runtime import ModelRegistry, compile_model, shard_slices
 from repro.rvf.hammerstein import HammersteinBranch, HammersteinModel
 from repro.rvf.residues import PartialFractionFunction
 from repro.serve import (
+    LatencySummary,
     MicroBatcher,
     ModelCache,
     ModelServer,
@@ -170,6 +172,19 @@ class TestMicroBatcher:
             [("a", 16), ("b", 8)]
         assert batcher.pending() == 0
 
+    def test_per_key_pending_and_drain(self):
+        batcher = MicroBatcher(max_batch=10, max_wait=10.0)
+        batcher.add(self.request("a"), 0.0)
+        batcher.add(self.request("a", n_steps=16), 0.0)
+        batcher.add(self.request("b"), 0.0)
+        assert batcher.pending("a") == 2 and batcher.pending("b") == 1
+        assert batcher.keys() == {"a", "b"}
+        drained = batcher.drain(now=1.0, key="a")
+        assert sorted(b.n_steps for b in drained) == [8, 16]
+        assert all(b.key == "a" for b in drained)
+        assert batcher.pending("a") == 0 and batcher.pending("b") == 1
+        assert batcher.keys() == {"b"}
+
 
 # --------------------------------------------------------------------- shard pool
 class TestShardSlices:
@@ -240,6 +255,34 @@ class TestShardPool:
         with pytest.raises(ServeError, match="closed"):
             pool.evaluate(key, request_batch(2, 8))
 
+    def test_concurrent_evaluates_lease_disjoint_workers(self, registry,
+                                                         compiled, key):
+        """Leasing: concurrent callers split the pool and stay bitwise-equal."""
+        batches = [request_batch(11, 48, seed=s) for s in range(4)]
+        results: dict[int, np.ndarray] = {}
+        errors: list[BaseException] = []
+        with ShardPool(registry.root, 2) as pool:
+            pool.evaluate(key, batches[0][:2])   # warm caches
+
+            def drive(index: int) -> None:
+                try:
+                    for _ in range(3):
+                        results[index] = pool.evaluate(key, batches[index])
+                except BaseException as exc:   # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=drive, args=(i,))
+                       for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(60.0)
+            assert pool.stats()["free_workers"] == 2
+        assert not errors
+        for index, batch in enumerate(batches):
+            np.testing.assert_array_equal(results[index],
+                                          compiled.evaluate(batch))
+
 
 # ------------------------------------------------------------------------- server
 class TestServerValidation:
@@ -280,11 +323,17 @@ class TestServerValidation:
                 server.submit(key, np.full(8, 0.5))
             server.flush()
 
-    def test_submit_after_close_rejected(self, registry, key):
+    def test_submit_after_close_names_the_server(self, registry, key):
+        """A post-close submit must raise, naming this server — never park a
+        future that can't resolve."""
         server = ModelServer(registry, ServePolicy(max_batch=4, max_wait=1e-3))
         server.close()
-        with pytest.raises(ServeError, match="closed"):
+        with pytest.raises(ServerClosedError) as excinfo:
             server.submit(key, np.full(8, 0.5))
+        message = str(excinfo.value)
+        assert "ModelServer(" in message and "is closed" in message
+        assert str(registry.root) in message
+        assert "never resolve" in message
 
     def test_close_resolves_pending_futures(self, registry, compiled, key):
         server = ModelServer(registry, ServePolicy(max_batch=1000, max_wait=60.0))
@@ -397,6 +446,143 @@ class TestServerSharded:
             assert server.stats().n_failed == 4
 
 
+class TestDispatchLanes:
+    def multi_registry(self, compiled, tmp_path, n_models=3):
+        registry = ModelRegistry(tmp_path / "models-lanes")
+        keys = [registry.save(compiled)]
+        for tau in (2.0, 3.0)[:n_models - 1]:
+            keys.append(registry.save(compile_model(
+                small_model(tau=tau), dt=1e-9, input_range=(0.0, 1.0))))
+        return registry, keys
+
+    def test_each_model_pinned_to_its_own_lane(self, compiled, tmp_path):
+        registry, keys = self.multi_registry(compiled, tmp_path)
+        policy = ServePolicy(max_batch=4, max_wait=1e-3, n_lanes=3)
+        batch = request_batch(8, 32)
+        with ModelServer(registry, policy) as server:
+            outputs = {key: server.serve(key, batch) for key in keys}
+            stats = server.stats()
+        assert stats.n_lanes == 3
+        lanes = {key: stats.per_model[key].lane for key in keys}
+        assert sorted(lanes.values()) == [0, 1, 2]
+        models = {keys[0]: compiled}
+        for key in keys:
+            expected = models.get(key)
+            if expected is None:
+                expected = registry.load(key)
+            np.testing.assert_array_equal(outputs[key],
+                                          expected.evaluate(batch))
+
+    def test_more_models_than_lanes_share_least_loaded(self, compiled,
+                                                       tmp_path):
+        registry, keys = self.multi_registry(compiled, tmp_path)
+        policy = ServePolicy(max_batch=4, max_wait=1e-3, n_lanes=2)
+        with ModelServer(registry, policy) as server:
+            for key in keys:
+                server.serve(key, request_batch(4, 16))
+            stats = server.stats()
+        lanes = [stats.per_model[key].lane for key in keys]
+        assert sorted(set(lanes)) == [0, 1]      # both lanes used, none idle
+        assert stats.n_lanes == 2
+
+    def test_single_lane_serialises_all_models(self, compiled, tmp_path):
+        registry, keys = self.multi_registry(compiled, tmp_path)
+        policy = ServePolicy(max_batch=4, max_wait=1e-3, n_lanes=1)
+        batch = request_batch(8, 24)
+        with ModelServer(registry, policy) as server:
+            outputs = {key: server.serve(key, batch) for key in keys}
+            stats = server.stats()
+        assert stats.n_lanes == 1
+        assert all(model.lane == 0 for model in stats.per_model.values())
+        np.testing.assert_array_equal(outputs[keys[0]],
+                                      compiled.evaluate(batch))
+
+    def test_lanes_overlap_with_sharded_pool(self, compiled, tmp_path):
+        """Two models, two lanes, two workers: bitwise-equal under overlap."""
+        registry, keys = self.multi_registry(compiled, tmp_path, n_models=2)
+        policy = ServePolicy(max_batch=8, max_wait=2e-3, n_lanes=2,
+                             n_workers=2)
+        rows = request_batch(32, 48)
+        with ModelServer(registry, policy) as server:
+            futures = [server.submit(keys[i % 2], rows[i]) for i in range(32)]
+            outputs = [future.result(FUTURE_TIMEOUT) for future in futures]
+            stats = server.stats()
+        other = registry.load(keys[1])
+        for i, output in enumerate(outputs):
+            expected = compiled if i % 2 == 0 else other
+            np.testing.assert_array_equal(output, expected.evaluate(rows[i]))
+        assert {model.lane for model in stats.per_model.values()} == {0, 1}
+        assert stats.n_failed == 0
+
+    def test_one_lanes_failure_leaves_other_models_serving(self, compiled,
+                                                           tmp_path):
+        """Exhausted retries on one model fail its requests only; the other
+        lane keeps serving."""
+        registry, keys = self.multi_registry(compiled, tmp_path, n_models=2)
+        policy = ServePolicy(max_batch=4, max_wait=60.0, n_lanes=2,
+                             n_workers=2, max_retries=0)
+        with ModelServer(registry, policy,
+                         fault_injection={keys[1]}) as server:
+            doomed = [server.submit(keys[1], np.full(16, 0.5))
+                      for _ in range(4)]
+            for future in doomed:
+                with pytest.raises(ServeError, match="max_retries=0"):
+                    future.result(FUTURE_TIMEOUT)
+            good = server.serve(keys[0], request_batch(4, 16))
+            stats = server.stats()
+        np.testing.assert_array_equal(good,
+                                      compiled.evaluate(request_batch(4, 16)))
+        assert stats.per_model[keys[1]].n_failed == 4
+        assert stats.per_model[keys[0]].n_failed == 0
+        assert stats.per_model[keys[0]].n_completed == 4
+
+
+class TestServeStatsSafety:
+    def test_fresh_server_stats_are_nan_safe(self, registry):
+        """Querying a server before its first batch must not trip."""
+        with ModelServer(registry, ServePolicy(max_batch=4,
+                                               max_wait=1e-3)) as server:
+            stats = server.stats()
+        assert stats.n_batches == 0 and stats.mean_batch_size == 0.0
+        for summary in (stats.queue_latency, stats.e2e_latency):
+            assert summary.count == 0
+            for value in (summary.mean, summary.p50, summary.p99, summary.max):
+                assert value == 0.0 and np.isfinite(value)
+            assert summary.percentile(99.9) == 0.0
+        described = stats.describe()
+        assert "0 batch(es)" in described and "nan" not in described.lower()
+        payload = stats.as_dict()
+        assert payload["per_model"] == {} and payload["n_lanes"] == 1
+
+    def test_latency_summary_ignores_non_finite_samples(self):
+        summary = LatencySummary.of([np.nan, 1.0, np.inf, 3.0])
+        assert summary.count == 2
+        assert summary.p50 == pytest.approx(2.0)
+        assert np.isfinite(summary.p99)
+        empty = LatencySummary.of([np.nan, np.inf])
+        assert empty.count == 0 and empty.p99 == 0.0
+
+    def test_percentile_helper_interpolates(self):
+        summary = LatencySummary.of(np.linspace(0.0, 1.0, 101))
+        assert summary.percentile(50.0) == pytest.approx(summary.p50)
+        assert summary.percentile(99.0) == pytest.approx(summary.p99)
+        assert summary.percentile(100.0) == pytest.approx(summary.max)
+        assert summary.percentile(70.0) == pytest.approx(0.6, abs=0.1)
+
+    def test_per_model_describe_breakdown(self, registry, key):
+        with ModelServer(registry, ServePolicy(max_batch=4,
+                                               max_wait=1e-3)) as server:
+            server.serve(key, request_batch(4, 16))
+            stats = server.stats()
+        model = stats.per_model[key]
+        assert model.n_completed == 4 and model.lane == 0
+        assert model.key == key
+        line = model.describe()
+        assert key[:12] in line and "lane 0" in line
+        assert key[:12] in stats.describe()
+        assert key[:12] not in stats.describe(per_model=False)
+
+
 class TestServePolicyValidation:
     @pytest.mark.parametrize("kwargs", [
         {"max_batch": 0},
@@ -404,6 +590,10 @@ class TestServePolicyValidation:
         {"max_request_samples": 0},
         {"max_queue_depth": 0},
         {"n_workers": -1},
+        {"n_lanes": 0},
+        {"max_connections": 0},
+        {"max_inflight_per_conn": 0},
+        {"max_frame_bytes": 8},
         {"max_retries": -1},
         {"cache_bytes": -1},
     ])
