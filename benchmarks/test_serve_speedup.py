@@ -15,10 +15,11 @@ Two comparisons are recorded (the first is the gate):
   one process.  This is what a deployment without :mod:`repro.serve` does
   for request traffic, and what micro-batching + sharding must beat 2x.
 * ``shard pool vs one whole-batch call`` — isolates the sharding component
-  on an already-coalesced batch.  Reported for the record alongside
-  ``cpu_count``: process sharding can only win wall-clock when there are
-  cores to shard across (CI runners have several; a 1-core container will
-  show the IPC overhead instead).
+  on an already-coalesced batch.  With the shared-memory dataplane (rows and
+  results travel through per-worker segments; the pipes carry descriptors
+  only) this is **gated at 1.5x** of the single in-process call even on one
+  core — the ROADMAP target the old pickle-over-pipe transport missed by ~4x.
+  On multi-core runners the pool should win outright.
 
 Run directly for a report::
 
@@ -85,12 +86,17 @@ class TestShardedMicroBatchServing:
         per_request = (time.perf_counter() - start) / N_BASELINE
         baseline_seconds = per_request * N_REQUESTS
 
-        # Shard-pool component on one already-coalesced batch (recorded only).
-        with ShardPool(registry.root, POLICY.n_workers) as pool:
-            pool.evaluate(key, stimuli[:8])          # warm worker caches
+        # Shard-pool component on one already-coalesced batch (gated below).
+        with ShardPool(registry.root, POLICY.n_workers,
+                       segment_bytes=POLICY.segment_bytes) as pool:
+            # Warm-up at full size: the first full batch faults the shared
+            # segments' pages in (a one-time cold-start cost); the gate
+            # targets the steady-state transport overhead.
+            pool.evaluate(key, stimuli)
             start = time.perf_counter()
             sharded = pool.evaluate(key, stimuli)
             pool_seconds = time.perf_counter() - start
+            pool_stats = pool.stats()
         np.testing.assert_array_equal(sharded, direct)
         start = time.perf_counter()
         compiled.evaluate(stimuli)
@@ -141,6 +147,10 @@ class TestShardedMicroBatchServing:
             "pool": stats.pool,
             "shardpool_coalesced_batch_ms": pool_seconds * 1e3,
             "single_call_coalesced_batch_ms": single_batch_seconds * 1e3,
+            "shardpool_vs_single_call": pool_seconds / single_batch_seconds,
+            "transport": ("shared_memory"
+                          if pool_stats["segment_bytes"] else "pipe"),
+            "segment_bytes": pool_stats["segment_bytes"],
         })
 
         # Gate 1: every request answered bitwise-identically to a direct
@@ -155,6 +165,14 @@ class TestShardedMicroBatchServing:
             f"p50 batching latency {queue_p50 * 1e3:.2f} ms exceeds "
             f"max_wait {POLICY.max_wait * 1e3:.2f} ms")
         assert stats.n_failed == 0
+        # Gate 4 (ROADMAP dataplane target): the shard pool's coalesced
+        # batch stays within 1.5x of the single in-process call even on one
+        # core — the shared segments reduce IPC to descriptor pickles.
+        assert pool_seconds <= 1.5 * single_batch_seconds, (
+            f"shard pool took {pool_seconds * 1e3:.0f} ms on a coalesced "
+            f"batch vs {single_batch_seconds * 1e3:.0f} ms in-process "
+            f"({pool_seconds / single_batch_seconds:.2f}x > 1.5x) on "
+            f"{os.cpu_count()} core(s)")
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -12,9 +12,12 @@ same micro-batching scheduler to the network with :mod:`repro.gateway`:
 3. launch **two separate client processes** that each connect with a
    :class:`~repro.gateway.client.GatewayClient` and pipeline hundreds of
    single-stimulus requests (each process favouring a different model, so
-   both dispatch lanes stay busy),
+   both dispatch lanes stay busy) — client 1 opts into the ``float32``
+   wire format, halving its bytes on the wire,
 4. spot-check that a remotely served output is bitwise-equal to evaluating
-   the same row directly, and
+   the same row directly (for the float32 client: equal to the float64
+   evaluation of its f4-quantised stimulus, re-quantised on the way out —
+   precision is shed at the wire's edges only), and
 5. print the gateway's connection/frame counters and the server's per-model
    lane statistics.
 
@@ -73,11 +76,14 @@ def client_main(client_id: int, host: str, port: int, keys, n_requests: int,
     stimuli = [0.5 + amp * np.sin(2.0 * np.pi * freq * times)
                for amp, freq in zip(rng.uniform(0.05, 0.4, n_requests),
                                     rng.uniform(1e5, 8e5, n_requests))]
-    with GatewayClient(host, port, timeout=300.0) as client:
+    # Client 1 opts into float32 on the wire — half the bytes per request;
+    # the gateway upcasts once at the edge, so the numerics stay float64.
+    dtype = "float32" if client_id == 1 else "float64"
+    with GatewayClient(host, port, timeout=300.0, dtype=dtype) as client:
         start = time.perf_counter()
         outputs = client.submit_many(zip(request_keys, stimuli))
         wall = time.perf_counter() - start
-    results.put((client_id, n_requests / wall,
+    results.put((client_id, n_requests / wall, dtype,
                  request_keys[0], stimuli[0], outputs[0]))
 
 
@@ -120,15 +126,25 @@ def main():
             print(f"served {total} remote requests x {N_STEPS} steps from "
                   f"{len(clients)} client process(es) in {wall * 1e3:.0f} ms "
                   f"({total / wall:.0f} req/s aggregate)")
-            for client_id, rate, *_ in sorted(reports):
-                print(f"  client {client_id}: {rate:.0f} req/s")
+            for client_id, rate, dtype, *_ in sorted(reports):
+                print(f"  client {client_id}: {rate:.0f} req/s "
+                      f"({dtype} wire)")
 
             # 4. Bitwise spot-check one remotely served row per client.
-            for client_id, _, key, stimulus, output in reports:
-                direct = registry.load(key).evaluate(stimulus)
+            # The float32 client's contract: its reply equals the float64
+            # evaluation of the f4-quantised stimulus, quantised once more
+            # on the way back — bit-exact, with precision lost only where
+            # the client chose to shed it.
+            for client_id, _, dtype, key, stimulus, output in reports:
+                if dtype == "float32":
+                    sent = stimulus.astype(np.float32).astype(np.float64)
+                    direct = (registry.load(key).evaluate(sent)
+                              .astype(np.float32).astype(np.float64))
+                else:
+                    direct = registry.load(key).evaluate(stimulus)
                 assert np.array_equal(output, direct)
             print("spot-check: remote outputs bitwise-equal to direct "
-                  "evaluate")
+                  "evaluate (float32 client: equal after edge quantisation)")
 
             # 5. What the gateway and the lanes actually did.
             print(gateway.counters.describe())

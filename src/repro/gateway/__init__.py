@@ -4,8 +4,10 @@
 micro-batched, sharded, answered through futures.  This package opens that
 scheduler to the network: a :class:`Gateway` accepts thousands of concurrent
 TCP connections on one asyncio event loop, speaks a compact length-prefixed
-binary protocol (model key, dtype/shape header, raw float64 samples — no
-third-party dependencies), and funnels every request into the same
+binary protocol (model key, dtype/shape header, raw little-endian samples —
+float64 natively, float32 on client opt-in for half the bytes, chunked
+streaming for stimuli beyond ``max_frame_bytes``; no third-party
+dependencies), and funnels every request into the same
 :class:`~repro.serve.server.ModelServer` the in-process callers use.  The
 server's per-model dispatch lanes answer them concurrently, one lane per
 model, so one model's traffic never stalls another's.
@@ -43,25 +45,39 @@ acceptance run.
 
 from .client import AsyncGatewayClient, GatewayClient
 from .protocol import (
+    DTYPE_FLOAT32,
+    DTYPE_FLOAT64,
+    ChunkAssembler,
     ErrorReply,
     Request,
+    RequestChunk,
     Result,
+    ResultChunk,
     decode_payload,
     encode_error,
     encode_request,
+    encode_request_frames,
     encode_result,
+    encode_result_frames,
 )
 from .server import Gateway
 
 __all__ = [
     "AsyncGatewayClient",
+    "ChunkAssembler",
+    "DTYPE_FLOAT32",
+    "DTYPE_FLOAT64",
     "ErrorReply",
     "Gateway",
     "GatewayClient",
     "Request",
+    "RequestChunk",
     "Result",
+    "ResultChunk",
     "decode_payload",
     "encode_error",
     "encode_request",
+    "encode_request_frames",
     "encode_result",
+    "encode_result_frames",
 ]

@@ -95,14 +95,21 @@ class GatewayClient:
         Wall-clock bound (seconds) on :meth:`submit` / :meth:`submit_many`.
     max_frame_bytes:
         Largest reply frame this client accepts (mirror of the server-side
-        policy knob).
+        policy knob).  Requests larger than it stream out as chunk series
+        automatically, and chunked replies are reassembled transparently.
+    dtype:
+        Wire dtype for this client's samples: ``"float64"`` (the default,
+        lossless) or ``"float32"`` (half the bytes; the gateway upcasts at
+        the edge and replies in kind, so outputs are float64 arrays either
+        way, quantised to float32 precision).
     """
 
     def __init__(self, host: str, port: int, timeout: float = 60.0,
-                 max_frame_bytes: int = 64 << 20) -> None:
+                 max_frame_bytes: int = 64 << 20, dtype="float64") -> None:
         self.host, self.port = host, int(port)
         self.timeout = float(timeout)
         self.max_frame_bytes = int(max_frame_bytes)
+        self.dtype = protocol.dtype_code(dtype)
         self._next_id = 1
         self._closed = False
         try:
@@ -154,7 +161,9 @@ class GatewayClient:
         for key, samples in requests:
             request_id = self._next_id
             self._next_id += 1
-            frames.append(protocol.encode_request(request_id, key, samples))
+            frames.extend(protocol.encode_request_frames(
+                request_id, key, samples, dtype=self.dtype,
+                max_frame_bytes=self.max_frame_bytes))
             order.append(request_id)
         try:
             results = self._pipeline(b"".join(frames), set(order))
@@ -184,6 +193,7 @@ class GatewayClient:
         sock = self._sock
         sock.setblocking(False)
         buffer = _ReplyBuffer(self.max_frame_bytes)
+        assembler = protocol.ChunkAssembler()
         results: dict[int, object] = {}
         view = memoryview(outbound)
         deadline = time.monotonic() + self.timeout
@@ -228,6 +238,10 @@ class GatewayClient:
                                 "outstanding")
                         for reply in buffer.feed(data):
                             _raise_if_fatal(reply)
+                            if isinstance(reply, protocol.ResultChunk):
+                                reply = assembler.feed(reply)
+                                if reply is None:
+                                    continue    # series still streaming
                             if reply.request_id in expected:
                                 results[reply.request_id] = reply
             return results
@@ -250,9 +264,10 @@ class AsyncGatewayClient:
     """
 
     def __init__(self, host: str, port: int,
-                 max_frame_bytes: int = 64 << 20) -> None:
+                 max_frame_bytes: int = 64 << 20, dtype="float64") -> None:
         self.host, self.port = host, int(port)
         self.max_frame_bytes = int(max_frame_bytes)
+        self.dtype = protocol.dtype_code(dtype)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
@@ -265,8 +280,9 @@ class AsyncGatewayClient:
 
     @classmethod
     async def connect(cls, host: str, port: int,
-                      max_frame_bytes: int = 64 << 20) -> "AsyncGatewayClient":
-        client = cls(host, port, max_frame_bytes)
+                      max_frame_bytes: int = 64 << 20,
+                      dtype="float64") -> "AsyncGatewayClient":
+        client = cls(host, port, max_frame_bytes, dtype=dtype)
         try:
             client._reader, client._writer = await asyncio.open_connection(
                 host, port)
@@ -313,8 +329,9 @@ class AsyncGatewayClient:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
-            self._writer.write(protocol.encode_request(request_id, key,
-                                                       samples))
+            self._writer.write(b"".join(protocol.encode_request_frames(
+                request_id, key, samples, dtype=self.dtype,
+                max_frame_bytes=self.max_frame_bytes)))
             await self._writer.drain()
         except (ConnectionError, OSError) as exc:
             self._pending.pop(request_id, None)
@@ -342,6 +359,7 @@ class AsyncGatewayClient:
     async def _read_replies(self) -> None:
         reader = self._reader
         assert reader is not None
+        assembler = protocol.ChunkAssembler()
         try:
             while True:
                 head = await reader.readexactly(protocol.LENGTH_PREFIX.size)
@@ -353,6 +371,10 @@ class AsyncGatewayClient:
                 reply = protocol.decode_payload(
                     await reader.readexactly(length))
                 _raise_if_fatal(reply)
+                if isinstance(reply, protocol.ResultChunk):
+                    reply = assembler.feed(reply)
+                    if reply is None:
+                        continue            # series still streaming
                 future = self._pending.pop(reply.request_id, None)
                 if future is None or future.done():
                     continue

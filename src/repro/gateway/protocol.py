@@ -9,16 +9,32 @@ followed by a per-type body:
 
 * **REQUEST** (client → gateway): ``!BIH`` dtype code | n_steps (shape
   header) | key length, then the model key (ASCII) and the raw samples —
-  ``n_steps`` little-endian float64 values.  The explicit dtype/shape header
-  lets the gateway validate the body *before* touching the model server:
-  a declared shape that disagrees with the byte count is a malformed frame,
-  not a garbled model input.
+  ``n_steps`` little-endian values of the declared dtype.  The explicit
+  dtype/shape header lets the gateway validate the body *before* touching
+  the model server: a declared shape that disagrees with the byte count is
+  a malformed frame, not a garbled model input.
 * **RESULT** (gateway → client): ``!BI`` dtype code | n_steps, then the raw
-  little-endian float64 output row.
+  little-endian output row.  A result is encoded in the dtype its request
+  declared.
 * **ERROR** (gateway → client): ``!H`` error code, then a UTF-8 message.
   ``request_id`` names the request being failed; ``request_id == 0`` means
   the error is connection-fatal (the gateway could not trust the stream any
   further and is closing it).
+* **REQUEST_CHUNK** (client → gateway): ``!BIIH`` dtype code | total
+  n_steps | sample offset | key length, then the key and this chunk's
+  samples.  A stimulus longer than ``max_frame_bytes`` streams as an
+  in-order chunk series (offset 0 first, each offset equal to the samples
+  already sent); the stream completes — and is served exactly like a plain
+  REQUEST — when the accumulated samples reach the declared total.
+* **RESULT_CHUNK** (gateway → client): ``!BII`` dtype code | total n_steps
+  | sample offset, then this chunk's samples.  The result-side mirror of
+  REQUEST_CHUNK, for replies that exceed ``max_frame_bytes``.
+
+**Dtype codes**: float64 (code 1) is the native wire format.  A client may
+opt into float32 (code 2) to halve its request/response bytes; the gateway
+upcasts to float64 at the edge — the model server and runtime only ever see
+float64 — and encodes the reply in the request's dtype.  The dtype is a
+per-message transport choice, not a protocol version: version 1 speaks both.
 
 Decoding raises :class:`~repro.exceptions.FrameError` with the recovered
 ``request_id`` (when the fixed prefix was intact) and the wire error code,
@@ -33,31 +49,40 @@ arrive in any order — different models complete on different dispatch lanes.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..exceptions import FrameError
 
 __all__ = [
+    "ChunkAssembler",
+    "DTYPE_FLOAT32",
     "DTYPE_FLOAT64",
     "ERROR",
     "ErrorReply",
     "MAX_KEY_BYTES",
     "PROTOCOL_VERSION",
     "REQUEST",
+    "REQUEST_CHUNK",
     "RESULT",
+    "RESULT_CHUNK",
     "Request",
+    "RequestChunk",
     "Result",
+    "ResultChunk",
     "E_BAD_FRAME",
     "E_BAD_REQUEST",
     "E_CONNECTION_LIMIT",
     "E_FRAME_TOO_LARGE",
     "E_INTERNAL",
     "E_SERVER_CLOSED",
+    "dtype_code",
     "encode_error",
     "encode_request",
+    "encode_request_frames",
     "encode_result",
+    "encode_result_frames",
     "decode_payload",
     "frame_overhead",
 ]
@@ -68,10 +93,17 @@ PROTOCOL_VERSION = 1
 
 # Message types.
 REQUEST, RESULT, ERROR = 1, 2, 3
+REQUEST_CHUNK, RESULT_CHUNK = 4, 5
 
-#: Sample dtype codes (float64 is the only one the runtime serves today; the
-#: byte exists so the protocol can grow without a version bump).
+#: Sample dtype codes.  Samples always reach the runtime as float64; the
+#: code only chooses the wire representation (float32 halves the bytes at
+#: ~1e-7 relative quantisation — the client's call).
 DTYPE_FLOAT64 = 1
+DTYPE_FLOAT32 = 2
+
+#: Wire representation per dtype code: always little-endian, independent of
+#: host byte order.
+WIRE_DTYPES = {DTYPE_FLOAT64: np.dtype("<f8"), DTYPE_FLOAT32: np.dtype("<f4")}
 
 # Error codes carried by ERROR frames.
 E_BAD_FRAME = 1          #: malformed payload (magic/version/type/body)
@@ -88,27 +120,72 @@ _PREFIX = struct.Struct("!HBBQ")
 _REQUEST_HEAD = struct.Struct("!BIH")
 _RESULT_HEAD = struct.Struct("!BI")
 _ERROR_HEAD = struct.Struct("!H")
+_REQUEST_CHUNK_HEAD = struct.Struct("!BIIH")
+_RESULT_CHUNK_HEAD = struct.Struct("!BII")
 
-#: Wire dtype of every sample/output payload: little-endian float64,
-#: independent of host byte order.
-WIRE_DTYPE = np.dtype("<f8")
+#: Native float64 wire dtype (kept for callers that sized buffers off it).
+WIRE_DTYPE = WIRE_DTYPES[DTYPE_FLOAT64]
+
+
+def dtype_code(dtype) -> int:
+    """Normalise a dtype spec (code, name, or numpy dtype) to its wire code."""
+    if isinstance(dtype, int):
+        if dtype not in WIRE_DTYPES:
+            raise FrameError(f"unsupported dtype code {dtype} (known: "
+                             f"{sorted(WIRE_DTYPES)})")
+        return dtype
+    try:
+        wanted = np.dtype(dtype)
+    except TypeError as exc:
+        raise FrameError(f"unsupported wire dtype {dtype!r}: {exc}") from None
+    for code, wire in WIRE_DTYPES.items():
+        if wire.kind == wanted.kind and wire.itemsize == wanted.itemsize:
+            return code
+    raise FrameError(
+        f"unsupported wire dtype {dtype!r} (supported: float64, float32)")
 
 
 @dataclass(frozen=True)
 class Request:
-    """A decoded request frame."""
+    """A decoded request frame (samples already upcast to float64)."""
 
     request_id: int
     key: str
     samples: np.ndarray
+    #: Wire dtype the client sent — the reply must be encoded in kind.
+    dtype: int = DTYPE_FLOAT64
 
 
 @dataclass(frozen=True)
 class Result:
-    """A decoded result frame."""
+    """A decoded result frame (outputs already upcast to float64)."""
 
     request_id: int
     outputs: np.ndarray
+    dtype: int = DTYPE_FLOAT64
+
+
+@dataclass(frozen=True)
+class RequestChunk:
+    """One slice of a streaming request (feed to a :class:`ChunkAssembler`)."""
+
+    request_id: int
+    key: str
+    samples: np.ndarray
+    dtype: int
+    n_steps_total: int
+    offset: int
+
+
+@dataclass(frozen=True)
+class ResultChunk:
+    """One slice of a streaming result (feed to a :class:`ChunkAssembler`)."""
+
+    request_id: int
+    outputs: np.ndarray
+    dtype: int
+    n_steps_total: int
+    offset: int
 
 
 @dataclass(frozen=True)
@@ -122,19 +199,19 @@ class ErrorReply:
 
 def frame_overhead(key: str = "") -> int:
     """Bytes a request frame adds on top of the raw sample payload."""
+    try:
+        key_bytes = key.encode("ascii")
+    except UnicodeEncodeError as exc:
+        raise FrameError(f"model key must be ASCII: {exc}") from None
     return (LENGTH_PREFIX.size + _PREFIX.size + _REQUEST_HEAD.size
-            + len(key.encode("ascii")))
+            + len(key_bytes))
 
 
 def _frame(payload: bytes) -> bytes:
     return LENGTH_PREFIX.pack(len(payload)) + payload
 
 
-def encode_request(request_id: int, key: str, samples) -> bytes:
-    """One request frame (length prefix included)."""
-    if request_id < 1:
-        raise FrameError("request_id must be a positive integer (0 is the "
-                         "connection-fatal sentinel)")
+def _key_bytes(key: str) -> bytes:
     try:
         key_bytes = key.encode("ascii")
     except UnicodeEncodeError as exc:
@@ -142,23 +219,104 @@ def encode_request(request_id: int, key: str, samples) -> bytes:
     if not key_bytes or len(key_bytes) > MAX_KEY_BYTES:
         raise FrameError(f"model key must be 1..{MAX_KEY_BYTES} ASCII bytes; "
                          f"got {len(key_bytes)}")
-    body = np.ascontiguousarray(np.asarray(samples, dtype=float).ravel(),
-                                dtype=WIRE_DTYPE).tobytes()
-    n_steps = len(body) // WIRE_DTYPE.itemsize
+    return key_bytes
+
+
+def _wire_samples(values, dtype: int) -> np.ndarray:
+    """Flatten ``values`` into a contiguous array of the wire dtype."""
+    return np.ascontiguousarray(np.asarray(values, dtype=float).ravel(),
+                                dtype=WIRE_DTYPES[dtype])
+
+
+def encode_request(request_id: int, key: str, samples,
+                   dtype: int = DTYPE_FLOAT64) -> bytes:
+    """One request frame (length prefix included)."""
+    if request_id < 1:
+        raise FrameError("request_id must be a positive integer (0 is the "
+                         "connection-fatal sentinel)")
+    key_bytes = _key_bytes(key)
+    dtype = dtype_code(dtype)
+    wire = _wire_samples(samples, dtype)
     payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, REQUEST, request_id)
-               + _REQUEST_HEAD.pack(DTYPE_FLOAT64, n_steps, len(key_bytes))
-               + key_bytes + body)
+               + _REQUEST_HEAD.pack(dtype, wire.size, len(key_bytes))
+               + key_bytes + wire.tobytes())
     return _frame(payload)
 
 
-def encode_result(request_id: int, outputs) -> bytes:
+def encode_result(request_id: int, outputs,
+                  dtype: int = DTYPE_FLOAT64) -> bytes:
     """One result frame (length prefix included)."""
-    body = np.ascontiguousarray(np.asarray(outputs, dtype=float).ravel(),
-                                dtype=WIRE_DTYPE).tobytes()
-    n_steps = len(body) // WIRE_DTYPE.itemsize
+    dtype = dtype_code(dtype)
+    wire = _wire_samples(outputs, dtype)
     payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, RESULT, request_id)
-               + _RESULT_HEAD.pack(DTYPE_FLOAT64, n_steps) + body)
+               + _RESULT_HEAD.pack(dtype, wire.size) + wire.tobytes())
     return _frame(payload)
+
+
+def _chunk_series(request_id: int, msg_type: int, head_size: int,
+                  make_head, key_bytes: bytes, wire: np.ndarray,
+                  max_frame_bytes: int) -> list[bytes]:
+    """Split ``wire`` into chunk frames of at most ``max_frame_bytes``.
+
+    ``make_head(offset)`` packs the per-chunk body header of ``head_size``
+    bytes; ``key_bytes`` rides in every chunk (empty for result chunks).
+    """
+    per_chunk = ((max_frame_bytes - _PREFIX.size - head_size
+                  - len(key_bytes)) // wire.dtype.itemsize)
+    if per_chunk < 1:
+        raise FrameError(
+            f"max_frame_bytes={max_frame_bytes} cannot carry even one "
+            f"sample per chunk frame "
+            f"({_PREFIX.size + head_size + len(key_bytes)} bytes of headers)",
+            request_id=request_id)
+    frames = []
+    for offset in range(0, wire.size, per_chunk):
+        part = wire[offset:offset + per_chunk]
+        payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, msg_type, request_id)
+                   + make_head(offset) + key_bytes + part.tobytes())
+        frames.append(_frame(payload))
+    return frames
+
+
+def encode_request_frames(request_id: int, key: str, samples,
+                          dtype: int = DTYPE_FLOAT64,
+                          max_frame_bytes: int = 64 << 20) -> list[bytes]:
+    """Encode a request as one frame, or a chunk series when it must stream.
+
+    The single-frame form is byte-identical to :func:`encode_request`; a
+    stimulus whose frame would exceed ``max_frame_bytes`` becomes an
+    in-order ``REQUEST_CHUNK`` series instead of being refused.
+    """
+    if request_id < 1:
+        raise FrameError("request_id must be a positive integer (0 is the "
+                         "connection-fatal sentinel)")
+    key_bytes = _key_bytes(key)
+    dtype = dtype_code(dtype)
+    wire = _wire_samples(samples, dtype)
+    single_payload = (_PREFIX.size + _REQUEST_HEAD.size + len(key_bytes)
+                      + wire.nbytes)
+    if single_payload <= max_frame_bytes:
+        return [encode_request(request_id, key, samples, dtype=dtype)]
+    return _chunk_series(
+        request_id, REQUEST_CHUNK, _REQUEST_CHUNK_HEAD.size,
+        lambda offset: _REQUEST_CHUNK_HEAD.pack(dtype, wire.size, offset,
+                                                len(key_bytes)),
+        key_bytes, wire, max_frame_bytes)
+
+
+def encode_result_frames(request_id: int, outputs,
+                         dtype: int = DTYPE_FLOAT64,
+                         max_frame_bytes: int = 64 << 20) -> list[bytes]:
+    """Encode a result as one frame, or a ``RESULT_CHUNK`` series."""
+    dtype = dtype_code(dtype)
+    wire = _wire_samples(outputs, dtype)
+    single_payload = _PREFIX.size + _RESULT_HEAD.size + wire.nbytes
+    if single_payload <= max_frame_bytes:
+        return [encode_result(request_id, outputs, dtype=dtype)]
+    return _chunk_series(
+        request_id, RESULT_CHUNK, _RESULT_CHUNK_HEAD.size,
+        lambda offset: _RESULT_CHUNK_HEAD.pack(dtype, wire.size, offset),
+        b"", wire, max_frame_bytes)
 
 
 def encode_error(request_id: int, code: int, message: str) -> bytes:
@@ -168,12 +326,14 @@ def encode_error(request_id: int, code: int, message: str) -> bytes:
     return _frame(payload)
 
 
-def decode_payload(payload: bytes) -> Request | Result | ErrorReply:
+def decode_payload(payload: bytes):
     """Decode one frame payload (the bytes after the length prefix).
 
-    Raises :class:`~repro.exceptions.FrameError` on any malformation,
-    carrying the request id when the 12-byte fixed prefix was readable so
-    the error can be attributed to the offending request.
+    Returns a :class:`Request`, :class:`Result`, :class:`ErrorReply`,
+    :class:`RequestChunk` or :class:`ResultChunk`.  Raises
+    :class:`~repro.exceptions.FrameError` on any malformation, carrying the
+    request id when the 12-byte fixed prefix was readable so the error can
+    be attributed to the offending request.
     """
     if len(payload) < _PREFIX.size:
         raise FrameError(
@@ -192,6 +352,10 @@ def decode_payload(payload: bytes) -> Request | Result | ErrorReply:
         return _decode_request(request_id, body)
     if msg_type == RESULT:
         return _decode_result(request_id, body)
+    if msg_type == REQUEST_CHUNK:
+        return _decode_request_chunk(request_id, body)
+    if msg_type == RESULT_CHUNK:
+        return _decode_result_chunk(request_id, body)
     if msg_type == ERROR:
         if len(body) < _ERROR_HEAD.size:
             raise FrameError("truncated error frame", request_id=request_id,
@@ -203,15 +367,26 @@ def decode_payload(payload: bytes) -> Request | Result | ErrorReply:
                      request_id=request_id, code=E_BAD_FRAME)
 
 
-def _samples_from(body: bytes, n_steps: int, request_id: int,
-                  what: str) -> np.ndarray:
-    if len(body) != n_steps * WIRE_DTYPE.itemsize:
+def _checked_dtype(dtype_code_raw: int, request_id: int, what: str) -> int:
+    if dtype_code_raw not in WIRE_DTYPES:
         raise FrameError(
-            f"{what} shape header declares {n_steps} float64 sample(s) "
-            f"({n_steps * WIRE_DTYPE.itemsize} bytes) but the frame carries "
+            f"unsupported dtype code {dtype_code_raw} in {what} (this "
+            f"gateway speaks float64 = code {DTYPE_FLOAT64}, float32 = code "
+            f"{DTYPE_FLOAT32})", request_id=request_id, code=E_BAD_FRAME)
+    return dtype_code_raw
+
+
+def _samples_from(body: bytes, n_steps: int, dtype: int, request_id: int,
+                  what: str) -> np.ndarray:
+    wire = WIRE_DTYPES[dtype]
+    if len(body) != n_steps * wire.itemsize:
+        raise FrameError(
+            f"{what} shape header declares {n_steps} {wire.name} sample(s) "
+            f"({n_steps * wire.itemsize} bytes) but the frame carries "
             f"{len(body)} byte(s)", request_id=request_id, code=E_BAD_FRAME)
-    # Native float64 for the runtime; no copy on little-endian hosts.
-    return np.frombuffer(body, dtype=WIRE_DTYPE).astype(np.float64, copy=False)
+    # Upcast at the edge: the runtime only ever sees native float64 (a no-op
+    # copy-free view for float64 frames on little-endian hosts).
+    return np.frombuffer(body, dtype=wire).astype(np.float64, copy=False)
 
 
 def _decode_request(request_id: int, body: bytes) -> Request:
@@ -221,35 +396,178 @@ def _decode_request(request_id: int, body: bytes) -> Request:
     if len(body) < _REQUEST_HEAD.size:
         raise FrameError("truncated request header", request_id=request_id,
                          code=E_BAD_FRAME)
-    dtype_code, n_steps, key_len = _REQUEST_HEAD.unpack_from(body)
-    if dtype_code != DTYPE_FLOAT64:
-        raise FrameError(
-            f"unsupported dtype code {dtype_code} (this gateway serves "
-            f"float64 = code {DTYPE_FLOAT64})", request_id=request_id,
-            code=E_BAD_FRAME)
+    dtype_raw, n_steps, key_len = _REQUEST_HEAD.unpack_from(body)
+    dtype = _checked_dtype(dtype_raw, request_id, "request")
     rest = body[_REQUEST_HEAD.size:]
+    key = _decode_key(rest, key_len, request_id)
+    samples = _samples_from(rest[key_len:], n_steps, dtype, request_id,
+                            "request")
+    return Request(request_id=request_id, key=key, samples=samples,
+                   dtype=dtype)
+
+
+def _decode_key(rest: bytes, key_len: int, request_id: int) -> str:
     if key_len < 1 or key_len > MAX_KEY_BYTES or len(rest) < key_len:
         raise FrameError(
             f"bad model-key length {key_len} (1..{MAX_KEY_BYTES}, frame has "
             f"{len(rest)} byte(s) after the header)", request_id=request_id,
             code=E_BAD_FRAME)
     try:
-        key = rest[:key_len].decode("ascii")
+        return rest[:key_len].decode("ascii")
     except UnicodeDecodeError as exc:
         raise FrameError(f"model key is not ASCII: {exc}",
                          request_id=request_id, code=E_BAD_FRAME) from None
-    samples = _samples_from(rest[key_len:], n_steps, request_id, "request")
-    return Request(request_id=request_id, key=key, samples=samples)
 
 
 def _decode_result(request_id: int, body: bytes) -> Result:
     if len(body) < _RESULT_HEAD.size:
         raise FrameError("truncated result header", request_id=request_id,
                          code=E_BAD_FRAME)
-    dtype_code, n_steps = _RESULT_HEAD.unpack_from(body)
-    if dtype_code != DTYPE_FLOAT64:
-        raise FrameError(f"unsupported dtype code {dtype_code} in result",
+    dtype_raw, n_steps = _RESULT_HEAD.unpack_from(body)
+    dtype = _checked_dtype(dtype_raw, request_id, "result")
+    outputs = _samples_from(body[_RESULT_HEAD.size:], n_steps, dtype,
+                            request_id, "result")
+    return Result(request_id=request_id, outputs=outputs, dtype=dtype)
+
+
+def _decode_request_chunk(request_id: int, body: bytes) -> RequestChunk:
+    if request_id < 1:
+        raise FrameError("request chunks need a positive request_id",
+                         code=E_BAD_FRAME)
+    if len(body) < _REQUEST_CHUNK_HEAD.size:
+        raise FrameError("truncated request-chunk header",
                          request_id=request_id, code=E_BAD_FRAME)
-    outputs = _samples_from(body[_RESULT_HEAD.size:], n_steps, request_id,
-                            "result")
-    return Result(request_id=request_id, outputs=outputs)
+    dtype_raw, total, offset, key_len = _REQUEST_CHUNK_HEAD.unpack_from(body)
+    dtype = _checked_dtype(dtype_raw, request_id, "request chunk")
+    rest = body[_REQUEST_CHUNK_HEAD.size:]
+    key = _decode_key(rest, key_len, request_id)
+    wire = WIRE_DTYPES[dtype]
+    sample_bytes = rest[key_len:]
+    if len(sample_bytes) % wire.itemsize:
+        raise FrameError(
+            f"request chunk carries {len(sample_bytes)} byte(s), not a "
+            f"multiple of the {wire.name} item size", request_id=request_id,
+            code=E_BAD_FRAME)
+    samples = np.frombuffer(sample_bytes, dtype=wire).astype(np.float64,
+                                                             copy=False)
+    return RequestChunk(request_id=request_id, key=key, samples=samples,
+                        dtype=dtype, n_steps_total=total, offset=offset)
+
+
+def _decode_result_chunk(request_id: int, body: bytes) -> ResultChunk:
+    if len(body) < _RESULT_CHUNK_HEAD.size:
+        raise FrameError("truncated result-chunk header",
+                         request_id=request_id, code=E_BAD_FRAME)
+    dtype_raw, total, offset = _RESULT_CHUNK_HEAD.unpack_from(body)
+    dtype = _checked_dtype(dtype_raw, request_id, "result chunk")
+    wire = WIRE_DTYPES[dtype]
+    sample_bytes = body[_RESULT_CHUNK_HEAD.size:]
+    if len(sample_bytes) % wire.itemsize:
+        raise FrameError(
+            f"result chunk carries {len(sample_bytes)} byte(s), not a "
+            f"multiple of the {wire.name} item size", request_id=request_id,
+            code=E_BAD_FRAME)
+    outputs = np.frombuffer(sample_bytes, dtype=wire).astype(np.float64,
+                                                             copy=False)
+    return ResultChunk(request_id=request_id, outputs=outputs, dtype=dtype,
+                       n_steps_total=total, offset=offset)
+
+
+@dataclass
+class _Stream:
+    """Accumulator of one in-flight chunk series."""
+
+    key: str
+    dtype: int
+    total: int
+    filled: int = 0
+    parts: list = field(default_factory=list)
+
+
+class ChunkAssembler:
+    """Reassemble chunk series into whole :class:`Request` / :class:`Result`.
+
+    One assembler per connection (per direction).  :meth:`feed` returns the
+    completed message when a chunk finishes its series, ``None`` while the
+    series is still streaming, and raises :class:`~repro.exceptions.
+    FrameError` — attributed to the chunk's request id, with the offending
+    stream already dropped — on any inconsistency: out-of-order or
+    overlapping offsets, a first chunk not at offset 0, a key/dtype/total
+    that changes mid-series, a declared total over ``max_samples``, or more
+    than ``max_streams`` concurrently streaming requests (an attacker must
+    not be able to grow per-connection buffers without bound by opening
+    series it never finishes).
+    """
+
+    def __init__(self, max_samples: int | None = None,
+                 max_streams: int = 64) -> None:
+        self.max_samples = max_samples
+        self.max_streams = max_streams
+        self._streams: dict[tuple[int, int], _Stream] = {}
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def _fail(self, stream_key, message: str, request_id: int):
+        self._streams.pop(stream_key, None)
+        raise FrameError(message, request_id=request_id, code=E_BAD_FRAME)
+
+    def feed(self, chunk: RequestChunk | ResultChunk):
+        """Absorb one chunk; the finished Request/Result, or ``None``."""
+        if isinstance(chunk, RequestChunk):
+            kind, key, samples = REQUEST_CHUNK, chunk.key, chunk.samples
+        else:
+            kind, key, samples = RESULT_CHUNK, "", chunk.outputs
+        stream_key = (kind, chunk.request_id)
+        stream = self._streams.get(stream_key)
+        if stream is None:
+            if chunk.offset != 0:
+                self._fail(stream_key,
+                           f"chunk stream must start at offset 0; got "
+                           f"{chunk.offset}", chunk.request_id)
+            if chunk.n_steps_total < 1:
+                self._fail(stream_key,
+                           "chunk stream declares an empty total",
+                           chunk.request_id)
+            if (self.max_samples is not None
+                    and chunk.n_steps_total > self.max_samples):
+                self._fail(stream_key,
+                           f"chunk stream declares {chunk.n_steps_total} "
+                           f"sample(s), over the per-request limit "
+                           f"{self.max_samples}", chunk.request_id)
+            if len(self._streams) >= self.max_streams:
+                self._fail(stream_key,
+                           f"too many concurrent chunk streams (limit "
+                           f"{self.max_streams})", chunk.request_id)
+            stream = _Stream(key=key, dtype=chunk.dtype,
+                             total=chunk.n_steps_total)
+            self._streams[stream_key] = stream
+        else:
+            if chunk.offset != stream.filled:
+                self._fail(stream_key,
+                           f"chunk at offset {chunk.offset} but the stream "
+                           f"has {stream.filled} sample(s) (chunks must "
+                           "arrive in order, without gaps or overlap)",
+                           chunk.request_id)
+            if (chunk.n_steps_total != stream.total
+                    or chunk.dtype != stream.dtype or key != stream.key):
+                self._fail(stream_key,
+                           "chunk stream changed its key/dtype/total "
+                           "mid-series", chunk.request_id)
+        if samples.size == 0:
+            self._fail(stream_key, "empty chunk in stream", chunk.request_id)
+        if stream.filled + samples.size > stream.total:
+            self._fail(stream_key,
+                       f"chunk stream overflows its declared total "
+                       f"{stream.total}", chunk.request_id)
+        stream.parts.append(samples)
+        stream.filled += samples.size
+        if stream.filled < stream.total:
+            return None
+        del self._streams[stream_key]
+        assembled = np.concatenate(stream.parts)
+        if kind == REQUEST_CHUNK:
+            return Request(request_id=chunk.request_id, key=stream.key,
+                           samples=assembled, dtype=stream.dtype)
+        return Result(request_id=chunk.request_id, outputs=assembled,
+                      dtype=stream.dtype)

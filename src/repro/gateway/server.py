@@ -51,9 +51,10 @@ class _Connection:
     """Loop-side state of one accepted connection."""
 
     __slots__ = ("writer", "outgoing", "inflight", "error_slots",
-                 "reads_resumed", "alive")
+                 "reads_resumed", "alive", "assembler")
 
-    def __init__(self, writer: asyncio.StreamWriter) -> None:
+    def __init__(self, writer: asyncio.StreamWriter,
+                 max_request_samples: int) -> None:
         self.writer = writer
         #: Reply frames waiting for the writer task.  The queue object is
         #: unbounded but its occupancy is capped structurally: request
@@ -66,6 +67,11 @@ class _Connection:
         #: in-flight cap.
         self.reads_resumed = asyncio.Event()
         self.alive = True
+        #: Reassembles this connection's streaming (chunked) requests.  Its
+        #: buffering is bounded by the policy's per-request sample limit —
+        #: a stream declaring more is rejected on its first chunk.
+        self.assembler = protocol.ChunkAssembler(
+            max_samples=max_request_samples)
 
 
 class Gateway:
@@ -227,7 +233,7 @@ class Gateway:
             return
         counters.n_connections += 1
         counters.n_open_connections += 1
-        conn = _Connection(writer)
+        conn = _Connection(writer, self.policy.max_request_samples)
         writer_task = asyncio.ensure_future(self._write_loop(conn))
         try:
             await self._read_loop(reader, conn)
@@ -284,7 +290,15 @@ class Gateway:
             counters.n_frames_in += 1
             try:
                 message = protocol.decode_payload(payload)
-                if not isinstance(message, protocol.Request):
+                if isinstance(message, protocol.RequestChunk):
+                    # Streaming request: absorb the chunk; submit only once
+                    # the series completes.  An inconsistent chunk raises —
+                    # attributed to its request id, so it fails exactly the
+                    # offending stream, never the connection.
+                    message = conn.assembler.feed(message)
+                    if message is None:
+                        continue
+                elif not isinstance(message, protocol.Request):
                     raise_id = getattr(message, "request_id", 0)
                     raise protocol.FrameError(
                         "clients send request frames only",
@@ -318,12 +332,13 @@ class Gateway:
         counters.n_requests += 1
         conn.inflight += 1
         request_id = message.request_id
+        dtype = message.dtype
         future.add_done_callback(
-            lambda fut: self._reply_threadsafe(conn, request_id, fut))
+            lambda fut: self._reply_threadsafe(conn, request_id, dtype, fut))
 
     # --------------------------------------------------------------- replies
     def _reply_threadsafe(self, conn: _Connection, request_id: int,
-                          future) -> None:
+                          dtype: int, future) -> None:
         """Future callback — runs on a dispatch-lane thread.
 
         Must never raise into the lane's batch resolution: a gateway torn
@@ -333,32 +348,40 @@ class Gateway:
         try:
             if loop is None or loop.is_closed():
                 return
-            loop.call_soon_threadsafe(self._reply, conn, request_id, future)
+            loop.call_soon_threadsafe(self._reply, conn, request_id, dtype,
+                                      future)
         except RuntimeError:
             pass                           # loop shut down under us
 
-    def _reply(self, conn: _Connection, request_id: int, future) -> None:
+    def _reply(self, conn: _Connection, request_id: int, dtype: int,
+               future) -> None:
         if not conn.alive:
             # The read loop is gone; its in-flight accounting with it.
             return
         if future.cancelled():
-            frame = protocol.encode_error(
-                request_id, protocol.E_INTERNAL, "request cancelled")
+            frames = [protocol.encode_error(
+                request_id, protocol.E_INTERNAL, "request cancelled")]
         else:
             exc = future.exception()
             if exc is not None:
                 # An admitted request that failed server-side: not a
                 # rejection (those are counted at submit), just a failure
                 # relayed in its error frame.
-                frame = protocol.encode_error(
-                    request_id, protocol.E_INTERNAL, str(exc))
+                frames = [protocol.encode_error(
+                    request_id, protocol.E_INTERNAL, str(exc))]
             else:
-                frame = protocol.encode_result(request_id, future.result())
+                # Reply in the request's wire dtype; a result too large for
+                # one frame streams back as a RESULT_CHUNK series.  All its
+                # frames are queued as one item so the reply is written
+                # contiguously and releases exactly one in-flight slot.
+                frames = protocol.encode_result_frames(
+                    request_id, future.result(), dtype=dtype,
+                    max_frame_bytes=self.policy.max_frame_bytes)
         # The in-flight slot is released by the writer once this frame is
         # actually on the wire (see _write_loop) — releasing it here would
         # let a slow-draining client re-fill the queue beyond its cap while
         # earlier replies still wait on its stalled socket.
-        conn.outgoing.put_nowait((frame, True))
+        conn.outgoing.put_nowait((b"".join(frames), True, len(frames)))
 
     async def _enqueue(self, conn: _Connection, frame: bytes) -> None:
         """Queue a protocol-error frame, bounded by its own slot budget.
@@ -371,7 +394,7 @@ class Gateway:
         if not conn.alive:                 # writer died while we waited
             conn.error_slots.release()
             return
-        conn.outgoing.put_nowait((frame, False))
+        conn.outgoing.put_nowait((frame, False, 1))
 
     def _release_slot(self, conn: _Connection) -> None:
         conn.inflight -= 1
@@ -383,9 +406,12 @@ class Gateway:
                 item = await conn.outgoing.get()
                 if item is None:
                     return
-                frame, counts_inflight = item
+                frame, counts_inflight, n_frames = item
+                # Count before writing: transport.write() can push the bytes
+                # to the socket synchronously, and a client observing the
+                # reply must also observe it counted.
+                self.counters.n_frames_out += n_frames
                 conn.writer.write(frame)
-                self.counters.n_frames_out += 1
                 await conn.writer.drain()
                 if counts_inflight:
                     self._release_slot(conn)

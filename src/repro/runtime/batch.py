@@ -72,7 +72,8 @@ def stack_stimuli(waveforms, times: np.ndarray) -> np.ndarray:
 
 
 def evaluate_batch(model, inputs: np.ndarray,
-                   max_chunk_bytes: int = 256 << 20) -> np.ndarray:
+                   max_chunk_bytes: int = 256 << 20,
+                   out: np.ndarray | None = None) -> np.ndarray:
     """Evaluate a :class:`~repro.runtime.compiled.CompiledModel` on a batch.
 
     Parameters
@@ -87,6 +88,12 @@ def evaluate_batch(model, inputs: np.ndarray,
     max_chunk_bytes:
         Bound on the transient per-chunk workspace; the batch axis is split
         accordingly.
+    out:
+        Optional pre-allocated float64 output array of the same shape as
+        ``inputs``; results are written into it and it is returned.  This is
+        the zero-copy path of the shared-memory shard dataplane
+        (:mod:`repro.serve.shards`): workers evaluate straight into their
+        shared segment instead of materialising a result to pickle.
     """
     inputs = np.asarray(inputs, dtype=float)
     single = inputs.ndim == 1
@@ -94,6 +101,14 @@ def evaluate_batch(model, inputs: np.ndarray,
         inputs = inputs[None, :]
     if inputs.ndim != 2:
         raise ModelError(f"inputs must be (n_stimuli, n_steps); got {inputs.shape}")
+    if out is not None:
+        if out.shape != (inputs.shape[0], inputs.shape[1]) and not (
+                single and out.shape == (inputs.shape[1],)):
+            raise ModelError(
+                f"out array shape {out.shape} does not match input shape "
+                f"{inputs.shape[1:] if single else inputs.shape}")
+        if out.dtype != np.float64:
+            raise ModelError(f"out array must be float64; got {out.dtype}")
     n_batch, n_steps = inputs.shape
     if n_steps < 1:
         raise ModelError("need at least one time sample")
@@ -118,7 +133,10 @@ def evaluate_batch(model, inputs: np.ndarray,
     per_stim = 8 * n_steps * rows
     chunk = max(1, int(max_chunk_bytes // max(per_stim, 1)))
 
-    outputs = np.empty_like(inputs)
+    if out is None:
+        outputs = np.empty_like(inputs)
+    else:
+        outputs = out[None, :] if out.ndim == 1 else out
     for start in range(0, n_batch, chunk):
         block = inputs[start:start + chunk]
         outputs[start:start + chunk] = _evaluate_block(model, block)

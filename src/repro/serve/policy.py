@@ -67,6 +67,21 @@ class ServePolicy:
     #: Shard-job retries after a worker crash before the affected requests
     #: fail (cleanly, with a ServeError — never a hang).
     max_retries: int = 2
+    #: Byte size of each shard worker's shared-memory dataplane segment.
+    #: Batch rows travel to the worker (and results travel back) through
+    #: this segment — the pipe carries only ``(job_id, key, offset, shape)``
+    #: descriptors, so dispatch → evaluate → reassembly never pickles a
+    #: float64 row.  A job too large for half the segment falls back to the
+    #: pickle-over-pipe transport transparently; ``0`` disables the shared
+    #: segments entirely (every job takes the pipe path).
+    segment_bytes: int = 64 << 20
+    #: Per shard-job deadline (seconds).  A worker that is *alive but wedged*
+    #: (stuck in evaluate, deadlocked allocator) can otherwise hang its lane
+    #: forever — the liveness check only catches processes that died.  When
+    #: the deadline passes, the job is treated exactly like a crash: the
+    #: worker is respawned and the shard's retry budget is charged.  ``0``
+    #: (the default) disables the deadline.
+    job_timeout: float = 0.0
     #: Byte budget of each warm-model LRU cache (the dispatcher holds one;
     #: every shard worker holds its own).
     cache_bytes: int = 256 << 20
@@ -95,5 +110,13 @@ class ServePolicy:
                 "header plus a sample)")
         if self.max_retries < 0:
             raise ServeError("ServePolicy.max_retries must be non-negative")
+        if self.segment_bytes < 0:
+            raise ServeError(
+                "ServePolicy.segment_bytes must be non-negative (0 disables "
+                "the shared-memory dataplane)")
+        if self.job_timeout < 0.0:
+            raise ServeError(
+                "ServePolicy.job_timeout must be non-negative (0 disables "
+                "the per-job deadline)")
         if self.cache_bytes < 0:
             raise ServeError("ServePolicy.cache_bytes must be non-negative")

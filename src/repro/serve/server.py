@@ -105,6 +105,9 @@ class ModelServer:
         Batching / lane / sharding / caching configuration.
     fault_injection:
         Test instrumentation forwarded to the shard pool (crash-once keys).
+    stall_injection:
+        Test instrumentation forwarded to the shard pool (wedge-once keys,
+        exercising ``ServePolicy.job_timeout``).
     delay_injection:
         Benchmark instrumentation forwarded to the shard pool (per-job
         worker stall in seconds, modelling remote-shard latency).
@@ -112,7 +115,8 @@ class ModelServer:
 
     def __init__(self, registry: ModelRegistry | str | Path,
                  policy: ServePolicy | None = None,
-                 fault_injection=None, delay_injection: float = 0.0) -> None:
+                 fault_injection=None, stall_injection=None,
+                 delay_injection: float = 0.0) -> None:
         self.policy = policy or ServePolicy()
         self.policy.validate()
         self.registry = (registry if isinstance(registry, ModelRegistry)
@@ -125,7 +129,10 @@ class ModelServer:
                 self.registry.root, self.policy.n_workers,
                 cache_bytes=self.policy.cache_bytes,
                 max_retries=self.policy.max_retries,
+                segment_bytes=self.policy.segment_bytes,
+                job_timeout=self.policy.job_timeout,
                 fault_injection=fault_injection,
+                stall_injection=stall_injection,
                 delay_injection=delay_injection)
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)

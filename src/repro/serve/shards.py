@@ -5,6 +5,20 @@ loaded once from the registry (integrity-checked via
 :class:`~repro.runtime.registry.ModelHandle`) and kept warm across batches —
 only the stimulus rows and result rows cross the process boundary per batch.
 
+**Zero-copy dataplane**: every worker owns a ``multiprocessing.shared_memory``
+segment created by the pool.  Dispatch writes the shard's rows straight into
+the worker's segment and the pipe carries only a ``(job_id, key, offsets,
+shape)`` descriptor; the worker evaluates *in place* — the compiled kernel
+writes its outputs directly into the segment (``evaluate_batch(out=...)``) —
+and replies with another descriptor, so neither request rows nor result rows
+are ever pickled.  A job too large for half the segment transparently falls
+back to the original pickle-over-pipe transport; ``segment_bytes=0`` disables
+the segments entirely.  Every job uses the same region (rows at offset 0,
+results right after): a worker holds at most one job at a time, a respawned
+worker gets a *fresh* segment (so a retried job can never alias a dead
+job's bytes), and reusing the region keeps its pages warm — the kernel
+faults them in once, not once per batch.
+
 Sharding is the deterministic contiguous partition of
 :func:`repro.runtime.batch.shard_slices`; because the batched kernel is
 element-wise along the batch axis and bitwise chunk-invariant, reassembling
@@ -22,8 +36,11 @@ execute their batches *simultaneously* instead of queueing on a global lock.
 
 Failure model: a worker that dies mid-batch (OOM-killed, segfaulted,
 ``kill -9``) is detected through its broken pipe / liveness check, respawned
-with a cold cache, and the affected shard is retried up to ``max_retries``
-times.  Requests beyond the retry budget fail with a
+with a cold cache (and a fresh segment — the dead worker's is reclaimed),
+and the affected shard is retried up to ``max_retries`` times.  A worker
+that is *alive but wedged* is caught by the optional per-job deadline
+(``job_timeout``): a job that misses it is treated exactly like a crash.
+Requests beyond the retry budget fail with a
 :class:`~repro.exceptions.ServeError`; they never hang.  Worker-side Python
 exceptions (corrupt registry entry, bad key) are not crashes: they propagate
 back once, immediately, without a retry.
@@ -36,11 +53,12 @@ import os
 import threading
 import time
 import traceback
+from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
 from ..exceptions import ServeError
-from ..runtime.batch import shard_slices
+from ..runtime.batch import evaluate_batch, shard_slices
 from ..runtime.registry import ModelHandle
 from .cache import ModelCache
 
@@ -49,47 +67,123 @@ __all__ = ["ShardPool"]
 #: Seconds between liveness checks while waiting on a worker's result.
 _POLL_INTERVAL = 0.05
 
+#: Stall-injection sleep: long enough to model "wedged forever" against any
+#: realistic ``job_timeout`` without leaving a sleeping process behind should
+#: termination somehow fail.
+_STALL_SECONDS = 3600.0
 
-def _worker_main(conn, registry_root: str, cache_bytes: int,
-                 fault_keys: frozenset[str], delay_s: float) -> None:
-    """Worker loop: receive ``(job_id, key, rows)``, evaluate, send back.
+# Transport descriptor tags (pipe messages stay tiny tuples, never arrays).
+_SHM = "shm"
+_PIPE = "pipe"
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach a worker to the pool-owned segment without adopting ownership.
+
+    Attaching registers the segment with the process's resource tracker,
+    which would try to unlink it at worker exit (and warn about a "leaked"
+    segment the parent is still using).  Unregistering after the fact is
+    wrong under the fork start method — the child shares the parent's
+    tracker process, so the child's unregister would also cancel the
+    parent's own registration.  Instead the registration is suppressed: the
+    parent alone tracks the segment's lifetime.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def _destroy_segment(segment: shared_memory.SharedMemory | None) -> None:
+    """Release and unlink a pool-owned segment (tolerates double destruction)."""
+    if segment is None:
+        return
+    try:
+        segment.close()
+    except (BufferError, OSError):
+        pass
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):
+        pass
+
+
+def _worker_main(conn, segment_name: str | None, registry_root: str,
+                 cache_bytes: int, fault_keys: frozenset[str],
+                 stall_keys: frozenset[str], delay_s: float) -> None:
+    """Worker loop: receive a job descriptor, evaluate, reply with one.
+
+    Shared-memory jobs arrive as ``(job_id, key, ("shm", in_off, out_off,
+    shape))``: the rows live in the worker's segment at ``in_off`` and the
+    kernel writes its outputs at ``out_off`` (``evaluate_batch(out=...)``),
+    so the reply pipes back only ``(job_id, True, ("shm", out_off, shape))``.
+    Oversized jobs arrive as ``(job_id, key, ("pipe", rows))`` and reply in
+    kind — the pre-dataplane transport kept as the fallback.
 
     ``fault_keys`` is crash-injection instrumentation for the failure-path
     tests: serving a listed key terminates the process the way a segfault
-    would (``os._exit``, no cleanup, no reply).  Respawned workers never
-    inherit injections, which gives deterministic crash-once semantics.
-    ``delay_s`` is latency-injection instrumentation for the dispatch-lane
-    benchmark: every job stalls that long before evaluating, modelling the
-    I/O / remote-shard latency that per-model lanes exist to hide.
+    would (``os._exit``, no cleanup, no reply).  ``stall_keys`` is
+    wedge-injection for the job-deadline tests: serving a listed key sleeps
+    as if stuck in a deadlocked evaluate — alive, but never replying.
+    Respawned workers never inherit either injection, which gives
+    deterministic crash-once / stall-once semantics.  ``delay_s`` is
+    latency-injection instrumentation for the dispatch-lane benchmark:
+    every job stalls that long before evaluating, modelling the I/O /
+    remote-shard latency that per-model lanes exist to hide.
     """
+    segment = _attach_segment(segment_name) if segment_name else None
     cache = ModelCache(cache_bytes)
-    while True:
-        try:
-            message = conn.recv()
-        except (EOFError, OSError):
-            return
-        if message is None:
-            conn.close()
-            return
-        job_id, key, rows = message
-        if key in fault_keys:
-            os._exit(43)
-        if delay_s > 0.0:
-            time.sleep(delay_s)
-        try:
-            model = cache.get_or_load(key, ModelHandle(registry_root, key).load)
-            outputs = model.evaluate(rows)
-            conn.send((job_id, True, outputs))
-        except Exception:   # noqa: BLE001 - workers must report, never crash
-            conn.send((job_id, False, traceback.format_exc()))
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message is None:
+                conn.close()
+                return
+            job_id, key, descriptor = message
+            if key in fault_keys:
+                os._exit(43)
+            if key in stall_keys:
+                time.sleep(_STALL_SECONDS)
+            if delay_s > 0.0:
+                time.sleep(delay_s)
+            try:
+                model = cache.get_or_load(
+                    key, ModelHandle(registry_root, key).load)
+                if descriptor[0] == _SHM:
+                    _, in_off, out_off, shape = descriptor
+                    rows = np.ndarray(shape, dtype=np.float64,
+                                      buffer=segment.buf, offset=in_off)
+                    out = np.ndarray(shape, dtype=np.float64,
+                                     buffer=segment.buf, offset=out_off)
+                    evaluate_batch(model, rows, out=out)
+                    del rows, out    # views must not pin segment.buf
+                    conn.send((job_id, True, (_SHM, out_off, shape)))
+                else:
+                    outputs = model.evaluate(descriptor[1])
+                    conn.send((job_id, True, (_PIPE, outputs)))
+            except Exception:   # noqa: BLE001 - workers must report, never crash
+                conn.send((job_id, False, traceback.format_exc()))
+    finally:
+        if segment is not None:
+            try:
+                segment.close()
+            except (BufferError, OSError):   # pragma: no cover - best effort
+                pass
 
 
 class _Worker:
-    __slots__ = ("process", "conn")
+    __slots__ = ("process", "conn", "segment")
 
-    def __init__(self, process, conn) -> None:
+    def __init__(self, process, conn, segment) -> None:
         self.process = process
         self.conn = conn
+        #: Pool-owned shared-memory segment (None when the dataplane is off).
+        self.segment = segment
 
 
 class ShardPool:
@@ -109,9 +203,20 @@ class ShardPool:
     mp_context:
         Optional :mod:`multiprocessing` start-method name (platform default
         when omitted; ``fork`` on Linux keeps worker start-up cheap).
+    segment_bytes:
+        Size of each worker's shared-memory dataplane segment.  A job needs
+        two regions (rows in, results out); one larger than half the segment
+        falls back to the pipe transport.  ``0`` disables the segments.
+    job_timeout:
+        Per-job deadline in seconds; a worker that holds a job longer is
+        treated as crashed (respawned, retry budget charged).  ``0``
+        disables the deadline.
     fault_injection:
         Test instrumentation: model keys whose service crashes the first
         worker that picks them up (see :func:`_worker_main`).
+    stall_injection:
+        Test instrumentation: model keys whose first service wedges the
+        worker — alive but never replying — to exercise ``job_timeout``.
     delay_injection:
         Benchmark instrumentation: a per-job stall (seconds) in every
         worker, modelling remote-shard / I/O latency (see
@@ -120,14 +225,19 @@ class ShardPool:
 
     def __init__(self, registry_root, n_workers: int, cache_bytes: int = 256 << 20,
                  max_retries: int = 2, mp_context: str | None = None,
-                 fault_injection=None, delay_injection: float = 0.0) -> None:
+                 segment_bytes: int = 64 << 20, job_timeout: float = 0.0,
+                 fault_injection=None, stall_injection=None,
+                 delay_injection: float = 0.0) -> None:
         if n_workers < 1:
             raise ServeError("ShardPool needs at least one worker")
         self.registry_root = str(registry_root)
         self.cache_bytes = int(cache_bytes)
         self.max_retries = int(max_retries)
+        self.segment_bytes = max(0, int(segment_bytes))
+        self.job_timeout = float(job_timeout)
         self._ctx = multiprocessing.get_context(mp_context)
         self._fault_keys = frozenset(fault_injection or ())
+        self._stall_keys = frozenset(stall_injection or ())
         self._delay_s = float(delay_injection)
         #: Worker leasing: each evaluate() call takes some exclusive subset
         #: of worker indices (every free one, at least one) and returns them
@@ -137,36 +247,60 @@ class ShardPool:
         self._free: set[int] = set(range(int(n_workers)))
         self.respawns = 0
         self.retried_jobs = 0
+        self.timed_out_jobs = 0
         self._closed = False
         #: Monotonic job id; replies are matched against it so a batch
         #: abandoned mid-collection (crash, worker exception) can never leak
         #: its stale replies into the next batch's results.
         self._sequence = 0
         self._workers: list[_Worker] = [
-            self._spawn(self._fault_keys) for _ in range(int(n_workers))]
+            self._spawn(self._fault_keys, self._stall_keys)
+            for _ in range(int(n_workers))]
 
     @property
     def n_workers(self) -> int:
         return len(self._workers)
 
     # ------------------------------------------------------------ process mgmt
-    def _spawn(self, fault_keys: frozenset[str]) -> _Worker:
+    def _spawn(self, fault_keys: frozenset[str],
+               stall_keys: frozenset[str]) -> _Worker:
+        segment = (shared_memory.SharedMemory(create=True,
+                                              size=self.segment_bytes)
+                   if self.segment_bytes > 0 else None)
         parent_conn, child_conn = self._ctx.Pipe()
-        process = self._ctx.Process(
-            target=_worker_main,
-            args=(child_conn, self.registry_root, self.cache_bytes, fault_keys,
-                  self._delay_s),
-            daemon=True)
-        process.start()
+        try:
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, segment.name if segment else None,
+                      self.registry_root, self.cache_bytes, fault_keys,
+                      stall_keys, self._delay_s),
+                daemon=True)
+            process.start()
+        except BaseException:
+            _destroy_segment(segment)
+            raise
         child_conn.close()      # parent's copy; the worker holds the live end
-        return _Worker(process, parent_conn)
+        return _Worker(process, parent_conn, segment)
 
     def _respawn(self, index: int) -> None:
-        """Replace a dead worker with a fresh one (cold cache, no faults).
+        """Replace a dead (or wedged) worker with a fresh one.
+
+        The fresh worker starts with a cold cache, no injections, and a new
+        shared segment — the old segment is reclaimed here, so a worker
+        killed while holding shm regions can never strand kernel memory or
+        leave reassembly pointing at an unlinked segment.
 
         Only ever called by the thread currently holding worker ``index``'s
-        lease, so the slot mutation needs no extra locking.
+        lease, so the slot mutation needs no extra locking.  Refuses once
+        the pool is closed: ``close()`` joins the workers it knows about,
+        and a lease holder racing it must not spawn processes (or segments)
+        that nobody would ever reap.
         """
+        with self._lease:
+            if self._closed:
+                raise ServeError(
+                    "shard pool is closed; refusing to respawn a worker "
+                    "after close() — the replacement would outlive the pool")
         worker = self._workers[index]
         try:
             worker.conn.close()
@@ -175,11 +309,43 @@ class ShardPool:
         if worker.process.is_alive():
             worker.process.terminate()
         worker.process.join(timeout=5.0)
-        self._workers[index] = self._spawn(frozenset())
+        if worker.process.is_alive():   # pragma: no cover - SIGTERM ignored
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+        _destroy_segment(worker.segment)
+        worker.segment = None
+        self._workers[index] = self._spawn(frozenset(), frozenset())
         with self._lease:
             self.respawns += 1
 
     # --------------------------------------------------------------- transport
+    def _place_job(self, index: int, key: str, job_id: int,
+                   rows: np.ndarray):
+        """Build one job message, staging the rows in shared memory.
+
+        Copies ``rows`` into the worker's segment (the only copy on the
+        dispatch side — the worker reads and writes the segment in place)
+        and returns a descriptor-only pipe message.  Falls back to the
+        pickle-over-pipe transport when the job would not fit twice (rows in
+        + results out) in the segment.
+
+        The region is always the front of the segment: a worker holds at
+        most one job at a time, and a crashed or timed-out worker is
+        respawned with a fresh segment before any retry, so reuse can never
+        alias a dead job's bytes — while keeping the pages warm across
+        batches instead of faulting fresh ones per job.
+        """
+        worker = self._workers[index]
+        nbytes = rows.nbytes
+        if worker.segment is None or 2 * nbytes > worker.segment.size:
+            return (job_id, key, (_PIPE, rows))
+        in_off, out_off = 0, nbytes
+        staged = np.ndarray(rows.shape, dtype=np.float64,
+                            buffer=worker.segment.buf, offset=in_off)
+        staged[:] = rows
+        del staged                       # views must not pin segment.buf
+        return (job_id, key, (_SHM, in_off, out_off, rows.shape))
+
     def _send(self, index: int, payload) -> bool:
         worker = self._workers[index]
         if not worker.process.is_alive():
@@ -193,9 +359,15 @@ class ShardPool:
     def _recv(self, index: int, expect_id: int):
         """The reply for job ``expect_id``, or ``None`` if the worker died.
 
-        Stale replies from previously abandoned batches are discarded.
+        ``None`` also stands for a worker that is alive but has held the job
+        past ``job_timeout`` — the caller treats both identically (respawn,
+        charge the retry budget), which is exactly the contract: a wedged
+        worker must never hang a lane.  Stale replies from previously
+        abandoned batches are discarded.
         """
         worker = self._workers[index]
+        deadline = (time.monotonic() + self.job_timeout
+                    if self.job_timeout > 0.0 else None)
         while True:
             try:
                 if worker.conn.poll(_POLL_INTERVAL):
@@ -215,6 +387,10 @@ class ShardPool:
                 except Exception:   # noqa: BLE001
                     pass
                 return None
+            if deadline is not None and time.monotonic() >= deadline:
+                with self._lease:
+                    self.timed_out_jobs += 1
+                return None         # alive but wedged: treated as a crash
 
     # ----------------------------------------------------------------- leasing
     def _acquire_workers(self, max_needed: int) -> list[int]:
@@ -247,8 +423,9 @@ class ShardPool:
         Returns outputs in the input's row order, bitwise-equal to a
         single-process :meth:`CompiledModel.evaluate
         <repro.runtime.compiled.CompiledModel.evaluate>` of the same array
-        (the batch kernel is bitwise chunk-invariant, so the lease size
-        never changes results).
+        (the batch kernel is bitwise chunk-invariant, so neither the lease
+        size nor the transport — shared segment or pipe fallback — changes
+        results).
 
         Thread-safe by leasing: each concurrent call owns a disjoint subset
         of workers (each pipe still has exactly one reader — the lease
@@ -260,7 +437,7 @@ class ShardPool:
         """
         if self._closed:
             raise ServeError("shard pool is closed")
-        inputs = np.asarray(inputs, dtype=float)
+        inputs = np.ascontiguousarray(inputs, dtype=float)
         if inputs.ndim != 2 or inputs.shape[0] < 1:
             raise ServeError(f"shard batch must be (rows, n_steps); got {inputs.shape}")
         cap = inputs.shape[0]
@@ -296,7 +473,7 @@ class ShardPool:
             failure: ServeError | None = None
             for job, job_id in dispatched:
                 reply = self._recv(leased[job], job_id)
-                if reply is None:           # crash: respawn, maybe retry
+                if reply is None:           # crash/wedge: respawn, maybe retry
                     crashes[job] += 1
                     self._respawn(leased[job])
                     if crashes[job] > self.max_retries:
@@ -316,7 +493,15 @@ class ShardPool:
                         f"shard worker failed to evaluate model {key[:12]}...:"
                         f"\n{payload}")
                     continue
-                outputs[slices[job]] = payload
+                if payload[0] == _SHM:
+                    _, out_off, shape = payload
+                    segment = self._workers[leased[job]].segment
+                    view = np.ndarray(shape, dtype=np.float64,
+                                      buffer=segment.buf, offset=out_off)
+                    outputs[slices[job]] = view
+                    del view                 # must not pin segment.buf
+                else:
+                    outputs[slices[job]] = payload[1]
             if spawn_failure is not None:
                 failure = failure or ServeError(
                     f"shard worker for rows {slices[spawn_failure]} of model "
@@ -331,10 +516,13 @@ class ShardPool:
         with self._lease:
             self._sequence += 1
             job_id = self._sequence
-        if self._send(worker_index, (job_id, key, rows)):
+        if self._send(worker_index, self._place_job(worker_index, key, job_id,
+                                                    rows)):
             return job_id
         self._respawn(worker_index)
-        if self._send(worker_index, (job_id, key, rows)):
+        # The respawned worker owns a fresh segment: re-stage the rows.
+        if self._send(worker_index, self._place_job(worker_index, key, job_id,
+                                                    rows)):
             return job_id
         return None
 
@@ -342,15 +530,19 @@ class ShardPool:
         with self._lease:
             return {"n_workers": self.n_workers, "respawns": self.respawns,
                     "retried_jobs": self.retried_jobs,
+                    "timed_out_jobs": self.timed_out_jobs,
+                    "segment_bytes": self.segment_bytes,
                     "free_workers": len(self._free)}
 
     def close(self, timeout: float = 10.0) -> None:
-        """Shut every worker down (idempotent).
+        """Shut every worker down and reclaim the segments (idempotent).
 
         Outstanding leases are given ``timeout`` seconds to return their
         workers first, so a batch mid-collection is never raced for its
         pipe; callers blocked waiting for a lease are woken and fail with a
-        "pool is closed" :class:`~repro.exceptions.ServeError`.
+        "pool is closed" :class:`~repro.exceptions.ServeError`, and a lease
+        holder that hits a crash after this point cannot respawn (see
+        :meth:`_respawn`) — no worker process can outlive the close.
         """
         with self._lease:
             if self._closed:
@@ -377,6 +569,8 @@ class ShardPool:
                 worker.conn.close()
             except OSError:
                 pass
+            _destroy_segment(worker.segment)
+            worker.segment = None
 
     def __enter__(self) -> "ShardPool":
         return self

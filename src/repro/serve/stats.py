@@ -43,6 +43,7 @@ class LatencySummary:
 
     count: int
     mean: float
+    min: float
     p50: float
     p90: float
     p99: float
@@ -54,28 +55,31 @@ class LatencySummary:
         if values.size:
             values = values[np.isfinite(values)]
         if values.size == 0:
-            return cls(count=0, mean=0.0, p50=0.0, p90=0.0, p99=0.0, max=0.0)
+            return cls(count=0, mean=0.0, min=0.0, p50=0.0, p90=0.0, p99=0.0,
+                       max=0.0)
         p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
         return cls(count=int(values.size), mean=float(values.mean()),
-                   p50=float(p50), p90=float(p90), p99=float(p99),
-                   max=float(values.max()))
+                   min=float(values.min()), p50=float(p50), p90=float(p90),
+                   p99=float(p99), max=float(values.max()))
 
     def percentile(self, q: float) -> float:
         """Interpolate an arbitrary percentile from the stored summary knots.
 
+        The q=0 knot is the true window minimum, so low percentiles
+        interpolate between min and p50 instead of collapsing onto p50.
         NaN-safe by construction: an empty summary answers 0.0 for every
         ``q`` instead of propagating NaN into dashboards or gates.
         """
         if self.count == 0:
             return 0.0
         knots_q = [0.0, 50.0, 90.0, 99.0, 100.0]
-        knots_v = [min(self.p50, self.max), self.p50, self.p90, self.p99,
-                   self.max]
+        knots_v = [self.min, self.p50, self.p90, self.p99, self.max]
         return float(np.interp(float(q), knots_q, knots_v))
 
     def as_dict(self) -> dict:
-        return {"count": self.count, "mean_s": self.mean, "p50_s": self.p50,
-                "p90_s": self.p90, "p99_s": self.p99, "max_s": self.max}
+        return {"count": self.count, "mean_s": self.mean, "min_s": self.min,
+                "p50_s": self.p50, "p90_s": self.p90, "p99_s": self.p99,
+                "max_s": self.max}
 
 
 @dataclass(frozen=True)

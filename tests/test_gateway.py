@@ -105,6 +105,158 @@ class TestProtocol:
         with pytest.raises(FrameError, match="positive"):
             protocol.encode_request(0, "ab", np.zeros(4))
 
+    def test_non_ascii_key_named_on_both_paths(self):
+        """Satellite: frame_overhead must raise the same named FrameError as
+        encode_request for a non-ASCII key, not a raw UnicodeEncodeError."""
+        with pytest.raises(FrameError, match="model key must be ASCII"):
+            protocol.encode_request(1, "modèle", np.zeros(4))
+        with pytest.raises(FrameError, match="model key must be ASCII"):
+            protocol.frame_overhead("modèle")
+        # The happy path still answers plain byte accounting.
+        assert protocol.frame_overhead("ab") == \
+            protocol.frame_overhead() + 2
+
+    def test_float32_round_trip_upcasts_at_the_edge(self):
+        rng = np.random.default_rng(11)
+        samples = 0.5 + 0.3 * rng.standard_normal(33)
+        frame = protocol.encode_request(3, "ab", samples,
+                                        dtype=protocol.DTYPE_FLOAT32)
+        decoded = protocol.decode_payload(frame[4:])
+        assert decoded.dtype == protocol.DTYPE_FLOAT32
+        assert decoded.samples.dtype == np.float64     # upcast at the edge
+        np.testing.assert_array_equal(
+            decoded.samples,
+            samples.astype(np.float32).astype(np.float64))
+        result = protocol.decode_payload(
+            protocol.encode_result(3, samples,
+                                   dtype=protocol.DTYPE_FLOAT32)[4:])
+        assert result.dtype == protocol.DTYPE_FLOAT32
+        np.testing.assert_array_equal(
+            result.outputs, samples.astype(np.float32).astype(np.float64))
+
+    def test_float32_frames_halve_the_sample_bytes(self):
+        samples = np.linspace(0.0, 1.0, 4096)
+        f64 = protocol.encode_request(1, "ab", samples)
+        f32 = protocol.encode_request(1, "ab", samples,
+                                      dtype=protocol.DTYPE_FLOAT32)
+        overhead = protocol.frame_overhead("ab")
+        assert len(f64) - overhead == 4096 * 8
+        assert len(f32) - overhead == 4096 * 4
+
+    def test_dtype_code_normalises_specs(self):
+        assert protocol.dtype_code("float64") == protocol.DTYPE_FLOAT64
+        assert protocol.dtype_code("float32") == protocol.DTYPE_FLOAT32
+        assert protocol.dtype_code(np.float32) == protocol.DTYPE_FLOAT32
+        assert protocol.dtype_code(protocol.DTYPE_FLOAT32) == \
+            protocol.DTYPE_FLOAT32
+        with pytest.raises(FrameError, match="unsupported dtype code 9"):
+            protocol.dtype_code(9)
+        with pytest.raises(FrameError, match="unsupported wire dtype"):
+            protocol.dtype_code("int32")
+
+
+class TestChunkedFrames:
+    def test_small_request_stays_a_single_frame(self):
+        frames = protocol.encode_request_frames(5, "ab", np.zeros(16),
+                                                max_frame_bytes=1 << 20)
+        assert frames == [protocol.encode_request(5, "ab", np.zeros(16))]
+
+    def test_request_chunk_series_reassembles_bitwise(self):
+        rng = np.random.default_rng(7)
+        samples = rng.standard_normal(3000)
+        frames = protocol.encode_request_frames(9, "ab", samples,
+                                                max_frame_bytes=4096)
+        assert len(frames) > 1
+        for frame in frames:
+            (length,) = protocol.LENGTH_PREFIX.unpack_from(frame)
+            assert length <= 4096
+        assembler = protocol.ChunkAssembler()
+        done = []
+        for frame in frames:
+            chunk = protocol.decode_payload(frame[4:])
+            assert isinstance(chunk, protocol.RequestChunk)
+            assert chunk.key == "ab"
+            message = assembler.feed(chunk)
+            if message is not None:
+                done.append(message)
+        assert len(done) == 1 and len(assembler) == 0
+        request = done[0]
+        assert isinstance(request, protocol.Request)
+        assert request.request_id == 9 and request.key == "ab"
+        np.testing.assert_array_equal(request.samples, samples)
+
+    def test_result_chunk_series_reassembles_bitwise(self):
+        outputs = np.linspace(-1.0, 1.0, 2500)
+        frames = protocol.encode_result_frames(
+            4, outputs, dtype=protocol.DTYPE_FLOAT32, max_frame_bytes=2048)
+        assert len(frames) > 1
+        assembler = protocol.ChunkAssembler()
+        result = None
+        for frame in frames:
+            result = assembler.feed(protocol.decode_payload(frame[4:]))
+        assert isinstance(result, protocol.Result)
+        np.testing.assert_array_equal(
+            result.outputs, outputs.astype(np.float32).astype(np.float64))
+
+    def test_interleaved_streams_assemble_independently(self):
+        a = np.arange(1000.0)
+        b = -np.arange(1500.0)
+        frames_a = [protocol.decode_payload(f[4:]) for f in
+                    protocol.encode_request_frames(1, "aa", a,
+                                                   max_frame_bytes=2048)]
+        frames_b = [protocol.decode_payload(f[4:]) for f in
+                    protocol.encode_request_frames(2, "bb", b,
+                                                   max_frame_bytes=2048)]
+        assembler = protocol.ChunkAssembler()
+        done = {}
+        for chunk in [x for pair in zip(frames_a, frames_b) for x in pair] \
+                + frames_b[len(frames_a):]:
+            message = assembler.feed(chunk)
+            if message is not None:
+                done[message.request_id] = message
+        np.testing.assert_array_equal(done[1].samples, a)
+        np.testing.assert_array_equal(done[2].samples, b)
+
+    def test_assembler_rejects_out_of_order_and_drops_stream(self):
+        frames = protocol.encode_request_frames(3, "ab",
+                                                np.arange(3000.0),
+                                                max_frame_bytes=4096)
+        chunks = [protocol.decode_payload(f[4:]) for f in frames]
+        assert len(chunks) >= 3
+        assembler = protocol.ChunkAssembler()
+        assembler.feed(chunks[0])
+        with pytest.raises(FrameError, match="in order") as err:
+            assembler.feed(chunks[2])              # gap: skipped chunk 1
+        assert err.value.request_id == 3
+        assert len(assembler) == 0                 # offending stream dropped
+
+    def test_assembler_rejects_nonzero_first_offset(self):
+        frames = protocol.encode_request_frames(6, "ab",
+                                                np.arange(3000.0),
+                                                max_frame_bytes=4096)
+        later = protocol.decode_payload(frames[1][4:])
+        with pytest.raises(FrameError, match="offset 0"):
+            protocol.ChunkAssembler().feed(later)
+
+    def test_assembler_enforces_sample_and_stream_limits(self):
+        frames = protocol.encode_request_frames(7, "ab",
+                                                np.arange(3000.0),
+                                                max_frame_bytes=4096)
+        first = protocol.decode_payload(frames[0][4:])
+        with pytest.raises(FrameError, match="per-request limit"):
+            protocol.ChunkAssembler(max_samples=100).feed(first)
+        assembler = protocol.ChunkAssembler(max_streams=1)
+        assembler.feed(first)
+        other = protocol.decode_payload(protocol.encode_request_frames(
+            8, "ab", np.arange(3000.0), max_frame_bytes=4096)[0][4:])
+        with pytest.raises(FrameError, match="too many concurrent"):
+            assembler.feed(other)
+
+    def test_unstreamably_small_frame_budget_named(self):
+        with pytest.raises(FrameError, match="cannot carry even one"):
+            protocol.encode_request_frames(1, "k" * 64, np.zeros(100),
+                                           max_frame_bytes=80)
+
 
 # ----------------------------------------------------------------- round trip
 class TestGatewayRoundTrip:
@@ -391,6 +543,32 @@ class TestGatewayFailureIsolation:
             gateway.start()
         server.close()
 
+    def test_chunk_stream_truncation_fails_only_its_request(
+            self, serving, compiled_pair, keys):
+        """Satellite: an abandoned/inconsistent chunk stream fails exactly
+        that request — the connection (and other requests) keep serving."""
+        _, gateway = serving
+        sock = raw_connection(gateway)
+        frames = protocol.encode_request_frames(
+            21, keys[0], np.full(3000, 0.5), max_frame_bytes=4096)
+        assert len(frames) >= 3
+        # Truncate the stream: first chunk, then a gap (third chunk).
+        sock.sendall(frames[0] + frames[2])
+        reply = read_reply(sock)
+        assert isinstance(reply, protocol.ErrorReply)
+        assert reply.request_id == 21
+        assert "in order" in reply.message
+        # Same connection still serves: a fresh complete stream round-trips.
+        row = request_rows(1, 24, seed=8)[0]
+        for frame in protocol.encode_request_frames(22, keys[0], row,
+                                                    max_frame_bytes=256):
+            sock.sendall(frame)
+        reply = read_reply(sock)
+        assert isinstance(reply, protocol.Result) and reply.request_id == 22
+        np.testing.assert_array_equal(reply.outputs,
+                                      compiled_pair[0].evaluate(row))
+        sock.close()
+
     def test_counters_track_traffic(self, serving, keys):
         _, gateway = serving
         with GatewayClient(*gateway.address) as client:
@@ -408,3 +586,104 @@ class TestGatewayFailureIsolation:
         assert "connection" in counters.describe()
         stats = gateway.stats()
         assert stats["address"].startswith("127.0.0.1:")
+
+
+# ----------------------------------------------------------- wire format opt-ins
+class TestWireFormats:
+    """Float32 opt-in and chunked streaming through live sockets."""
+
+    @pytest.fixture()
+    def serving(self, registry):
+        policy = ServePolicy(max_batch=32, max_wait=2e-3, n_lanes=2)
+        with ModelServer(registry, policy) as server:
+            with Gateway(server) as gateway:
+                yield server, gateway
+
+    def test_float32_request_bitwise_matches_upcast_path(
+            self, serving, compiled_pair, keys):
+        """Acceptance: a float32 wire round trip equals evaluating the
+        float32-quantised stimulus in float64 and quantising the reply."""
+        _, gateway = serving
+        rows = request_rows(6, 48, seed=13)
+        with GatewayClient(*gateway.address, dtype="float32") as client:
+            outputs = client.submit_many([(keys[0], row) for row in rows])
+        for row, output in zip(rows, outputs):
+            upcast = row.astype(np.float32).astype(np.float64)
+            direct = compiled_pair[0].evaluate(upcast)
+            expected = direct.astype(np.float32).astype(np.float64)
+            np.testing.assert_array_equal(output, expected)
+
+    def test_float32_async_client_round_trip(self, serving, compiled_pair,
+                                             keys):
+        _, gateway = serving
+        row = request_rows(1, 32, seed=14)[0]
+
+        async def drive():
+            async with await AsyncGatewayClient.connect(
+                    *gateway.address, dtype="float32") as client:
+                return await client.submit(keys[0], row)
+
+        output = asyncio.run(drive())
+        upcast = row.astype(np.float32).astype(np.float64)
+        expected = compiled_pair[0].evaluate(upcast).astype(
+            np.float32).astype(np.float64)
+        np.testing.assert_array_equal(output, expected)
+
+    def test_long_stimulus_streams_in_chunks_both_ways(self, registry,
+                                                       compiled_pair, keys):
+        """A stimulus beyond max_frame_bytes streams out as REQUEST_CHUNKs
+        and its (equally oversized) reply streams back as RESULT_CHUNKs."""
+        policy = ServePolicy(max_batch=8, max_wait=1e-3, n_lanes=2,
+                             max_frame_bytes=4096)
+        rng = np.random.default_rng(15)
+        long_row = 0.5 + 0.3 * rng.standard_normal(5000)   # 40 kB in float64
+        short_row = request_rows(1, 32, seed=16)[0]
+        with ModelServer(registry, policy) as server:
+            with Gateway(server) as gateway:
+                with GatewayClient(*gateway.address,
+                                   max_frame_bytes=4096) as client:
+                    outputs = client.submit_many(
+                        [(keys[0], long_row), (keys[1], short_row)])
+                counters = gateway.counters
+                # The long request could not have fit one frame each way.
+                assert counters.n_frames_in > 2
+                assert counters.n_frames_out > 2
+        np.testing.assert_array_equal(outputs[0],
+                                      compiled_pair[0].evaluate(long_row))
+        np.testing.assert_array_equal(outputs[1],
+                                      compiled_pair[1].evaluate(short_row))
+
+    def test_chunked_float32_stream_round_trip(self, registry, compiled_pair,
+                                               keys):
+        """Chunking composes with the float32 opt-in."""
+        policy = ServePolicy(max_batch=8, max_wait=1e-3,
+                             max_frame_bytes=2048)
+        rng = np.random.default_rng(17)
+        long_row = 0.5 + 0.3 * rng.standard_normal(4000)
+        with ModelServer(registry, policy) as server:
+            with Gateway(server) as gateway:
+                with GatewayClient(*gateway.address, max_frame_bytes=2048,
+                                   dtype="float32") as client:
+                    output = client.submit(keys[0], long_row)
+        upcast = long_row.astype(np.float32).astype(np.float64)
+        expected = compiled_pair[0].evaluate(upcast).astype(
+            np.float32).astype(np.float64)
+        np.testing.assert_array_equal(output, expected)
+
+    def test_oversized_request_refused_with_named_limit_when_chunked(
+            self, registry, keys):
+        """Chunk streaming still honours the per-request sample limit —
+        the stream is refused on its *first* chunk, before any buffering."""
+        policy = ServePolicy(max_batch=8, max_wait=1e-3,
+                             max_frame_bytes=4096, max_request_samples=1000)
+        with ModelServer(registry, policy) as server:
+            with Gateway(server) as gateway:
+                sock = raw_connection(gateway)
+                frames = protocol.encode_request_frames(
+                    31, keys[0], np.full(5000, 0.5), max_frame_bytes=4096)
+                sock.sendall(frames[0])
+                reply = read_reply(sock)
+                assert isinstance(reply, protocol.ErrorReply)
+                assert reply.request_id == 31
+                assert "per-request limit" in reply.message
+                sock.close()

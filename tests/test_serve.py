@@ -255,6 +255,119 @@ class TestShardPool:
         with pytest.raises(ServeError, match="closed"):
             pool.evaluate(key, request_batch(2, 8))
 
+    def test_pipe_fallback_bitwise_equal(self, registry, compiled, key):
+        """Jobs too large for the segment (or with shm disabled) take the
+        pickle-over-pipe path and stay bitwise-equal."""
+        batch = request_batch(13, 64)
+        direct = compiled.evaluate(batch)
+        # Segment smaller than one job's 2x footprint: every job falls back.
+        with ShardPool(registry.root, 2, segment_bytes=1024) as pool:
+            np.testing.assert_array_equal(pool.evaluate(key, batch), direct)
+        # Dataplane disabled outright.
+        with ShardPool(registry.root, 2, segment_bytes=0) as pool:
+            np.testing.assert_array_equal(pool.evaluate(key, batch), direct)
+            assert all(worker.segment is None for worker in pool._workers)
+
+    def test_region_reuse_across_many_batches(self, registry, compiled, key):
+        """A segment barely larger than one job forces every batch to reuse
+        the same region; results must stay bitwise-equal throughout."""
+        batch = request_batch(6, 128)
+        direct = compiled.evaluate(batch)
+        # Each job is 3 * 128 * 8 = 3072 B staged twice (in + out);
+        # a 20 KiB segment leaves no slack beyond the reused region.
+        with ShardPool(registry.root, 2, segment_bytes=20 << 10) as pool:
+            for _ in range(16):
+                np.testing.assert_array_equal(pool.evaluate(key, batch),
+                                              direct)
+
+    def test_worker_killed_while_holding_segment(self, registry, compiled,
+                                                 key):
+        """Satellite: a crash mid-batch must reclaim the dead worker's
+        segment — the respawn owns a fresh one, reassembly never touches an
+        unlinked segment, and no FileNotFoundError escapes."""
+        batch = request_batch(9, 32)
+        with ShardPool(registry.root, 2, fault_injection={key}) as pool:
+            old_names = {worker.segment.name for worker in pool._workers}
+            outputs = pool.evaluate(key, batch)
+            np.testing.assert_array_equal(outputs, compiled.evaluate(batch))
+            assert pool.respawns >= 1
+            new_names = {worker.segment.name for worker in pool._workers}
+            recycled = old_names - new_names
+            assert recycled               # at least one segment was replaced
+            from multiprocessing import shared_memory
+            for name in recycled:         # ...and actually unlinked
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=name)
+
+    def test_wedged_worker_hits_job_timeout_and_recovers(self, registry,
+                                                         compiled, key):
+        """Satellite: an alive-but-stuck worker is treated as a crash once
+        the per-job deadline passes — respawned, retried, never hung."""
+        batch = request_batch(8, 32)
+        with ShardPool(registry.root, 2, job_timeout=1.0,
+                       stall_injection={key}) as pool:
+            start = time.monotonic()
+            outputs = pool.evaluate(key, batch)
+            elapsed = time.monotonic() - start
+            np.testing.assert_array_equal(outputs, compiled.evaluate(batch))
+            stats = pool.stats()
+            assert stats["timed_out_jobs"] >= 1
+            assert stats["respawns"] >= 1
+            assert pool.retried_jobs >= 1
+            assert elapsed < FUTURE_TIMEOUT
+
+    def test_wedged_worker_exhausts_retry_budget_cleanly(self, registry,
+                                                         compiled, key):
+        """With no retry budget a timeout fails the batch with a named
+        error instead of hanging the caller."""
+        # Wedge both workers' first service so the retry cannot dodge onto
+        # a healthy worker.
+        with ShardPool(registry.root, 1, max_retries=0, job_timeout=0.5,
+                       stall_injection={key}) as pool:
+            with pytest.raises(ServeError, match="max_retries=0"):
+                pool.evaluate(key, request_batch(4, 32))
+            assert pool.stats()["timed_out_jobs"] >= 1
+
+    def test_respawn_refused_after_close(self, registry):
+        """Satellite: _respawn must refuse once the pool is closed — a lease
+        holder racing close() must not spawn workers nobody will reap."""
+        pool = ShardPool(registry.root, 1)
+        pool.close()
+        with pytest.raises(ServeError, match="refusing to respawn"):
+            pool._respawn(0)
+
+    def test_close_under_inflight_crash_retry_leaks_nothing(self, registry,
+                                                            key):
+        """Satellite: closing the pool while a lease holder is stuck in a
+        crash-retry loop must end with a clean ServeError (never a hang) and
+        zero surviving worker processes."""
+        pool = ShardPool(registry.root, 1, job_timeout=0.5,
+                         stall_injection={key})
+        failures: list[BaseException] = []
+        outcomes: list[np.ndarray] = []
+
+        def drive() -> None:
+            try:
+                outcomes.append(pool.evaluate(key, request_batch(4, 32)))
+            except BaseException as exc:   # noqa: BLE001
+                failures.append(exc)
+
+        thread = threading.Thread(target=drive)
+        thread.start()
+        time.sleep(0.1)                 # let the job wedge on the stall key
+        pool.close(timeout=0.2)         # expire the lease wait: forces the
+        thread.join(FUTURE_TIMEOUT)     # race close() guards against
+        assert not thread.is_alive()
+        # The evaluate either finished before close (retry won the race on a
+        # respawned, stall-free worker) or failed with a named ServeError —
+        # never a hang, never an unnamed crash.
+        if failures:
+            assert isinstance(failures[0], ServeError)
+        else:
+            assert len(outcomes) == 1
+        for worker in pool._workers:
+            assert not worker.process.is_alive()
+
     def test_concurrent_evaluates_lease_disjoint_workers(self, registry,
                                                          compiled, key):
         """Leasing: concurrent callers split the pool and stay bitwise-equal."""
@@ -569,6 +682,24 @@ class TestServeStatsSafety:
         assert summary.percentile(100.0) == pytest.approx(summary.max)
         assert summary.percentile(70.0) == pytest.approx(0.6, abs=0.1)
 
+    def test_low_percentiles_use_true_minimum(self):
+        """Satellite: q < 50 must interpolate from the window min, not
+        collapse onto ~p50 (the old lowest knot was min(p50, max))."""
+        summary = LatencySummary.of(np.linspace(2.0, 4.0, 101))
+        assert summary.min == pytest.approx(2.0)
+        assert summary.percentile(0.0) == pytest.approx(2.0)
+        assert summary.percentile(10.0) == pytest.approx(2.2, abs=0.05)
+        assert summary.percentile(25.0) == pytest.approx(2.5, abs=0.05)
+        # Regression shape: the old code answered ~p50 (3.0) for q=10.
+        assert summary.percentile(10.0) < 0.9 * summary.p50
+        assert summary.as_dict()["min_s"] == summary.min
+
+    def test_empty_summary_min_is_zero_safe(self):
+        empty = LatencySummary.of([])
+        assert empty.min == 0.0
+        assert empty.percentile(0.0) == 0.0
+        assert empty.as_dict()["min_s"] == 0.0
+
     def test_per_model_describe_breakdown(self, registry, key):
         with ModelServer(registry, ServePolicy(max_batch=4,
                                                max_wait=1e-3)) as server:
@@ -595,6 +726,8 @@ class TestServePolicyValidation:
         {"max_inflight_per_conn": 0},
         {"max_frame_bytes": 8},
         {"max_retries": -1},
+        {"segment_bytes": -1},
+        {"job_timeout": -1.0},
         {"cache_bytes": -1},
     ])
     def test_bad_policies_rejected(self, kwargs):
