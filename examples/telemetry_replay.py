@@ -1,0 +1,169 @@
+"""Push telemetry: watch a serving session over TCP, journal it, replay it.
+
+``examples/gateway_cluster.py`` showed remote clients driving the model
+server through the TCP gateway.  This example adds the observability layer
+of :mod:`repro.telemetry` on top of the same stack:
+
+1. extract, compile and register one RC-ladder model, start a
+   :class:`~repro.serve.server.ModelServer` behind a
+   :class:`~repro.gateway.server.Gateway`,
+2. attach a :class:`~repro.telemetry.RunRecorder` that journals every
+   telemetry event (plus periodic stats snapshots) into a durable sqlite
+   :class:`~repro.telemetry.RunStore`,
+3. open a **subscriber client** — a dedicated
+   :class:`~repro.gateway.client.GatewayClient` streaming ``EVENT`` wire
+   frames via ``subscribe_events()`` — that live-tallies the event flow
+   while a separate **data client** pipelines its requests,
+4. close the run and show what the journal captured: the event kinds, the
+   stats snapshots and the per-request trace ids linking each submission to
+   the batch that served it, and
+5. **replay**: rebuild the request schedule with ``RunStore.replay`` and
+   re-serve it through a fresh client — every replayed output is checked
+   bitwise-identical to what the recorded session answered.
+
+Run with:  python examples/telemetry_replay.py
+(set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
+"""
+
+import collections
+import os
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.circuit import Sine, TransientOptions
+from repro.circuits import build_rc_ladder
+from repro.exceptions import GatewayError
+from repro.gateway import Gateway, GatewayClient
+from repro.runtime import ModelRegistry, compile_model
+from repro.rvf import RVFOptions, extract_rvf_model
+from repro.serve import ModelServer, ServePolicy
+from repro.sweep import run_sweep, waveform_sweep
+from repro.telemetry import RunRecorder, RunStore
+
+#: Reduced workload for CI smoke runs (REPRO_EXAMPLES_SMOKE=1).
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+N_REQUESTS = 150 if SMOKE else 600
+N_STEPS = 100
+
+
+def extract_compiled(transient: TransientOptions):
+    """One trained + compiled RC-ladder model."""
+    scenarios = waveform_sweep(
+        build_rc_ladder, [Sine(0.5, amp, 2e5) for amp in (0.1, 0.25, 0.4)],
+        transient=transient, builder_kwargs={"n_sections": 2})
+    sweep = run_sweep(scenarios)
+    dataset = sweep.extract_combined_tft(max_snapshots=40)
+    extraction = extract_rvf_model(dataset, RVFOptions(error_bound=5e-3))
+    states = dataset.state_axis()
+    compiled = compile_model(
+        extraction.model, dt=transient.dt,
+        input_range=(float(states.min()) - 0.05, float(states.max()) + 0.05))
+    return compiled, sweep
+
+
+def subscriber_main(host: str, port: int, tally: collections.Counter,
+                    trace_ids: set) -> None:
+    """The watcher: a dedicated client streaming EVENT frames.
+
+    Ends itself once the event stream goes quiet — after the data traffic
+    stops, the 2 s frame timeout fires and the iterator is abandoned.
+    """
+    try:
+        with GatewayClient(host, port) as client:
+            for payload in client.subscribe_events(
+                    topics=("RequestSubmitted", "BatchClosed", "BatchServed",
+                            "ConnectionOpened", "ConnectionClosed"),
+                    timeout=2.0):
+                tally[payload["event"]] += 1
+                if payload["event"] == "RequestSubmitted":
+                    trace_ids.add(payload["trace_id"])
+    except GatewayError:
+        pass            # quiet stream or gateway shutdown: the demo is over
+
+
+def main():
+    # 1. One trained model behind a gateway.
+    transient = TransientOptions(t_stop=1e-6, dt=1e-8)
+    registry = ModelRegistry(tempfile.mkdtemp(prefix="telemetry-replay-"))
+    compiled, sweep = extract_compiled(transient)
+    key = registry.save(compiled, provenance=sweep.provenance())
+    print(f"registered rc_ladder(n_sections=2) as {key[:16]}...")
+
+    rng = np.random.default_rng(0)
+    times = np.arange(N_STEPS) * transient.dt
+    stimuli = [0.5 + amp * np.sin(2.0 * np.pi * freq * times)
+               for amp, freq in zip(rng.uniform(0.05, 0.4, N_REQUESTS),
+                                    rng.uniform(1e5, 8e5, N_REQUESTS))]
+
+    store = RunStore(os.path.join(tempfile.mkdtemp(prefix="telemetry-runs-"),
+                                  "runs.db"))
+    policy = ServePolicy(max_batch=64, max_wait=2e-3, n_lanes=2,
+                         stats_interval=0.2)
+    with ModelServer(registry, policy) as server:
+        with Gateway(server) as gateway:
+            host, port = gateway.address
+            print(f"gateway listening on {host}:{port}")
+
+            # 2. Journal the whole session into the durable run store.
+            recorder = RunRecorder(
+                server.telemetry, store, name="demo-session",
+                stats_source=lambda: server.stats().as_dict(),
+                snapshot_interval=0.25)
+
+            # 3. One subscriber client watching, one data client driving.
+            tally: collections.Counter = collections.Counter()
+            seen_traces: set = set()
+            watcher = threading.Thread(
+                target=subscriber_main, args=(host, port, tally, seen_traces))
+            watcher.start()
+            time.sleep(0.3)                 # let the subscription register
+
+            with GatewayClient(host, port, timeout=300.0) as client:
+                start = time.perf_counter()
+                recorded = client.submit_many(
+                    (key, stimulus) for stimulus in stimuli)
+                wall = time.perf_counter() - start
+            print(f"data client: {N_REQUESTS} requests x {N_STEPS} steps in "
+                  f"{wall * 1e3:.0f} ms ({N_REQUESTS / wall:.0f} req/s)")
+
+            watcher.join(timeout=60.0)
+            print("subscriber client saw: "
+                  + ", ".join(f"{count} {kind}"
+                              for kind, count in sorted(tally.items())))
+            recorder.close()
+
+            # 4. What the journal captured.
+            run = store.get_run(recorder.run_id)
+            events = store.events(run.run_id)
+            kinds = collections.Counter(e["event"] for e in events)
+            print(f"journal: run '{run.name}' captured {len(events)} events "
+                  f"({', '.join(f'{n} {k}' for k, n in sorted(kinds.items()))}), "
+                  f"{len(store.snapshots(run.run_id))} stats snapshots, "
+                  f"{run.meta.get('n_dropped', 0)} dropped")
+            assert len(seen_traces) == N_REQUESTS
+
+            # 5. Replay the recorded schedule and re-serve it, bitwise.
+            schedule = store.replay(run.run_id)
+            assert len(schedule) == N_REQUESTS
+            span = schedule[-1].t_rel - schedule[0].t_rel
+            print(f"replay schedule: {len(schedule)} requests over "
+                  f"{span * 1e3:.0f} ms (trace ids "
+                  f"{schedule[0].trace_id}..{schedule[-1].trace_id})")
+            with GatewayClient(host, port, timeout=300.0) as client:
+                replayed = client.submit_many(
+                    (entry.key, stimuli[index])
+                    for index, entry in enumerate(schedule))
+            for recorded_row, replayed_row in zip(recorded, replayed):
+                assert np.array_equal(recorded_row, replayed_row)
+            print("replayed session re-served bitwise-identically "
+                  f"({len(replayed)} requests)")
+
+        print(server.stats().describe())
+    store.close()
+
+
+if __name__ == "__main__":
+    main()

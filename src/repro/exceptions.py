@@ -94,6 +94,14 @@ class GatewayError(ServeError):
     """
 
 
+class RunStoreError(ReproError):
+    """Raised by the durable telemetry store (:mod:`repro.telemetry.runstore`).
+
+    Covers opening a corrupted or non-database file, operations on a closed
+    store, and lookups of unknown run ids.
+    """
+
+
 class FrameError(GatewayError):
     """Raised for malformed gateway protocol frames.
 

@@ -21,7 +21,9 @@ model, so one model's traffic never stalls another's.
   being read, not buffered);
 * :mod:`~repro.gateway.client` — :class:`GatewayClient` (synchronous, with
   pipelined :meth:`~repro.gateway.client.GatewayClient.submit_many`) and
-  :class:`AsyncGatewayClient`.
+  :class:`AsyncGatewayClient`; both grow ``subscribe_stats()`` /
+  ``subscribe_events()`` iterators over the gateway's push-telemetry
+  STATS / EVENT frames (see :mod:`repro.telemetry`).
 
 Serving over TCP in a few lines::
 
@@ -49,16 +51,24 @@ from .protocol import (
     DTYPE_FLOAT64,
     ChunkAssembler,
     ErrorReply,
+    EventFrame,
+    EventsSubscribe,
     Request,
     RequestChunk,
     Result,
     ResultChunk,
+    StatsFrame,
+    StatsSubscribe,
     decode_payload,
     encode_error,
+    encode_event,
+    encode_events_subscribe,
     encode_request,
     encode_request_frames,
     encode_result,
     encode_result_frames,
+    encode_stats,
+    encode_stats_subscribe,
 )
 from .server import Gateway
 
@@ -68,16 +78,24 @@ __all__ = [
     "DTYPE_FLOAT32",
     "DTYPE_FLOAT64",
     "ErrorReply",
+    "EventFrame",
+    "EventsSubscribe",
     "Gateway",
     "GatewayClient",
     "Request",
     "RequestChunk",
     "Result",
     "ResultChunk",
+    "StatsFrame",
+    "StatsSubscribe",
     "decode_payload",
     "encode_error",
+    "encode_event",
+    "encode_events_subscribe",
     "encode_request",
     "encode_request_frames",
     "encode_result",
     "encode_result_frames",
+    "encode_stats",
+    "encode_stats_subscribe",
 ]

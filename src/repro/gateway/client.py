@@ -27,6 +27,14 @@ The minimal round trip::
     with GatewayClient("127.0.0.1", 7433) as client:
         output = client.submit(key, samples)            # one stimulus
         outputs = client.submit_many([(key, s) for s in stimuli])
+
+Both clients can also subscribe to the gateway's push telemetry:
+:meth:`~GatewayClient.subscribe_stats` yields periodic server-stats
+snapshots (``ServeStats.as_dict()`` plus the gateway counters) and
+:meth:`~GatewayClient.subscribe_events` streams the server's telemetry
+events as dicts.  On the synchronous client a subscription iterator owns
+the connection's receive stream — use a dedicated client instance for it;
+the asyncio client multiplexes subscriptions alongside data submits.
 """
 
 from __future__ import annotations
@@ -254,6 +262,95 @@ class GatewayClient:
             sock.setblocking(True)
             sock.settimeout(self.timeout)
 
+    # ------------------------------------------------------------ subscriptions
+    def subscribe_stats(self, interval_s: float = 0.0,
+                        timeout: float | None = None):
+        """Iterate periodic server-stats snapshots (dicts), forever.
+
+        ``interval_s`` requests a cadence; the gateway clamps it up to its
+        ``ServePolicy.stats_interval``.  ``timeout`` bounds the wait for
+        each snapshot (``None`` blocks).  The iterator owns this
+        connection's receive stream — use a dedicated client instance, and
+        ``break`` /  ``close()`` to end the subscription.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        return self._subscribe(
+            protocol.encode_stats_subscribe(request_id, interval_s),
+            request_id, protocol.StatsFrame, timeout)
+
+    def subscribe_events(self, topics=(), timeout: float | None = None):
+        """Iterate streamed telemetry events (dicts), as they happen.
+
+        ``topics`` filters by event class name (empty = every event); see
+        :func:`repro.telemetry.event_topics`.  Each yielded dict is an
+        event's ``as_dict()`` payload — pass it to
+        :func:`repro.telemetry.event_from_dict` to get the typed event
+        back.  Semantics otherwise match :meth:`subscribe_stats`.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        return self._subscribe(
+            protocol.encode_events_subscribe(request_id, topics),
+            request_id, protocol.EventFrame, timeout)
+
+    def _subscribe(self, subscribe_frame: bytes, request_id: int,
+                   frame_cls, timeout: float | None):
+        if self._closed:
+            raise GatewayError(
+                f"client connection to {self.host}:{self.port} is closed")
+        sock = self._sock
+        sock.settimeout(self.timeout)
+        try:
+            sock.sendall(subscribe_frame)
+        except OSError as exc:
+            raise GatewayError(
+                f"connection to {self.host}:{self.port} failed mid-send: "
+                f"{exc!r}") from None
+        return self._subscription_frames(request_id, frame_cls, timeout)
+
+    def _subscription_frames(self, request_id: int, frame_cls,
+                             timeout: float | None):
+        sock = self._sock
+        buffer = _ReplyBuffer(self.max_frame_bytes)
+        sock.settimeout(timeout)
+        try:
+            while True:
+                try:
+                    data = sock.recv(1 << 20)
+                except socket.timeout:
+                    raise GatewayError(
+                        f"timed out after {timeout:.1f} s waiting for the "
+                        f"next telemetry frame from {self.host}:{self.port}"
+                    ) from None
+                except OSError as exc:
+                    if self._closed:
+                        return              # close() ended the subscription
+                    raise GatewayError(
+                        f"connection to {self.host}:{self.port} failed "
+                        f"mid-receive: {exc!r}") from None
+                if not data:
+                    return                  # gateway closed: stream over
+                try:
+                    replies = buffer.feed(data)
+                except FrameError as exc:
+                    raise GatewayError(
+                        f"gateway at {self.host}:{self.port} sent a "
+                        f"malformed frame: {exc}") from None
+                for reply in replies:
+                    _raise_if_fatal(reply)
+                    if isinstance(reply, protocol.ErrorReply) \
+                            and reply.request_id == request_id:
+                        raise GatewayError(
+                            f"subscription {request_id} failed "
+                            f"(code {reply.code}): {reply.message}")
+                    if isinstance(reply, frame_cls) \
+                            and reply.request_id == request_id:
+                        yield reply.payload
+        finally:
+            if not self._closed:
+                sock.settimeout(self.timeout)
+
 
 class AsyncGatewayClient:
     """Asyncio client: ``await connect(...)``, then ``await submit(...)``.
@@ -272,6 +369,9 @@ class AsyncGatewayClient:
         self._writer: asyncio.StreamWriter | None = None
         self._reader_task: asyncio.Task | None = None
         self._pending: dict[int, asyncio.Future] = {}
+        #: Live telemetry subscriptions: request id → queue the reader task
+        #: routes that subscription's STATS/EVENT payloads into.
+        self._streams: dict[int, asyncio.Queue] = {}
         self._next_id = 1
         self._closed = False
         #: Terminal connection failure; set by the reader task so later
@@ -375,6 +475,18 @@ class AsyncGatewayClient:
                     reply = assembler.feed(reply)
                     if reply is None:
                         continue            # series still streaming
+                if isinstance(reply, (protocol.StatsFrame,
+                                      protocol.EventFrame)):
+                    stream = self._streams.get(reply.request_id)
+                    if stream is not None:
+                        stream.put_nowait(reply.payload)
+                    continue
+                if isinstance(reply, protocol.ErrorReply) \
+                        and reply.request_id in self._streams:
+                    self._streams[reply.request_id].put_nowait(GatewayError(
+                        f"subscription {reply.request_id} failed "
+                        f"(code {reply.code}): {reply.message}"))
+                    continue
                 future = self._pending.pop(reply.request_id, None)
                 if future is None or future.done():
                     continue
@@ -400,3 +512,58 @@ class AsyncGatewayClient:
         for future in pending.values():
             if not future.done():
                 future.set_exception(exc)
+        for stream in self._streams.values():
+            stream.put_nowait(exc)
+
+    # ------------------------------------------------------------ subscriptions
+    async def subscribe_stats(self, interval_s: float = 0.0):
+        """Async-iterate periodic server-stats snapshots (dicts).
+
+        Unlike the synchronous client, subscriptions multiplex with
+        concurrent :meth:`submit` calls on this same connection — the
+        reader task routes each frame to its awaiting consumer.
+        """
+        request_id = self._next_id
+        self._next_id += 1
+        async for payload in self._subscribe(
+                protocol.encode_stats_subscribe(request_id, interval_s),
+                request_id):
+            yield payload
+
+    async def subscribe_events(self, topics=()):
+        """Async-iterate streamed telemetry events (dicts)."""
+        request_id = self._next_id
+        self._next_id += 1
+        async for payload in self._subscribe(
+                protocol.encode_events_subscribe(request_id, topics),
+                request_id):
+            yield payload
+
+    async def _subscribe(self, subscribe_frame: bytes, request_id: int):
+        if self._closed or self._writer is None:
+            raise GatewayError(
+                f"client connection to {self.host}:{self.port} is closed")
+        if self._dead is not None:
+            raise self._dead
+        queue: asyncio.Queue = asyncio.Queue()
+        self._streams[request_id] = queue
+        try:
+            self._writer.write(subscribe_frame)
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._streams.pop(request_id, None)
+            raise self._dead or GatewayError(
+                f"connection to {self.host}:{self.port} failed mid-send: "
+                f"{exc!r}") from None
+        try:
+            while True:
+                item = await queue.get()
+                if isinstance(item, GatewayError):
+                    # Connection death ends the stream cleanly; a
+                    # subscription-specific error frame raises.
+                    if item is self._dead:
+                        return
+                    raise item
+                yield item
+        finally:
+            self._streams.pop(request_id, None)

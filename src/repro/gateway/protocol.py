@@ -29,6 +29,20 @@ followed by a per-type body:
 * **RESULT_CHUNK** (gateway → client): ``!BII`` dtype code | total n_steps
   | sample offset, then this chunk's samples.  The result-side mirror of
   REQUEST_CHUNK, for replies that exceed ``max_frame_bytes``.
+* **STATS_SUBSCRIBE** (client → gateway): ``!d`` interval seconds.  The
+  gateway starts emitting periodic **STATS** frames (UTF-8 JSON body:
+  ``ServeStats.as_dict()`` plus a ``"gateway"`` counter section) on this
+  connection at the requested cadence, clamped up to
+  ``ServePolicy.stats_interval``, echoing the subscription's request id on
+  every frame.  One subscription per request id; the stream ends with the
+  connection.
+* **EVENTS_SUBSCRIBE** (client → gateway): UTF-8 JSON body — a list of
+  topic names (event class names; empty list = every topic).  The gateway
+  streams matching telemetry events as **EVENT** frames (UTF-8 JSON body:
+  the event's ``as_dict()``), echoing the subscription's request id.  A
+  slow subscriber's queue drops oldest-first server-side; its frames share
+  the connection's ``max_inflight_per_conn`` slot budget, so telemetry can
+  never starve the same connection's data traffic — nor anyone else's.
 
 **Dtype codes**: float64 (code 1) is the native wire format.  A client may
 opt into float32 (code 2) to halve its request/response bytes; the gateway
@@ -48,6 +62,7 @@ arrive in any order — different models complete on different dispatch lanes.
 
 from __future__ import annotations
 
+import json
 import struct
 from dataclasses import dataclass, field
 
@@ -63,6 +78,10 @@ __all__ = [
     "ErrorReply",
     "MAX_KEY_BYTES",
     "PROTOCOL_VERSION",
+    "EVENT",
+    "EVENTS_SUBSCRIBE",
+    "EventFrame",
+    "EventsSubscribe",
     "REQUEST",
     "REQUEST_CHUNK",
     "RESULT",
@@ -71,6 +90,10 @@ __all__ = [
     "RequestChunk",
     "Result",
     "ResultChunk",
+    "STATS",
+    "STATS_SUBSCRIBE",
+    "StatsFrame",
+    "StatsSubscribe",
     "E_BAD_FRAME",
     "E_BAD_REQUEST",
     "E_CONNECTION_LIMIT",
@@ -79,10 +102,14 @@ __all__ = [
     "E_SERVER_CLOSED",
     "dtype_code",
     "encode_error",
+    "encode_event",
+    "encode_events_subscribe",
     "encode_request",
     "encode_request_frames",
     "encode_result",
     "encode_result_frames",
+    "encode_stats",
+    "encode_stats_subscribe",
     "decode_payload",
     "frame_overhead",
 ]
@@ -94,6 +121,7 @@ PROTOCOL_VERSION = 1
 # Message types.
 REQUEST, RESULT, ERROR = 1, 2, 3
 REQUEST_CHUNK, RESULT_CHUNK = 4, 5
+STATS_SUBSCRIBE, EVENTS_SUBSCRIBE, STATS, EVENT = 6, 7, 8, 9
 
 #: Sample dtype codes.  Samples always reach the runtime as float64; the
 #: code only chooses the wire representation (float32 halves the bytes at
@@ -122,6 +150,7 @@ _RESULT_HEAD = struct.Struct("!BI")
 _ERROR_HEAD = struct.Struct("!H")
 _REQUEST_CHUNK_HEAD = struct.Struct("!BIIH")
 _RESULT_CHUNK_HEAD = struct.Struct("!BII")
+_STATS_SUB_HEAD = struct.Struct("!d")
 
 #: Native float64 wire dtype (kept for callers that sized buffers off it).
 WIRE_DTYPE = WIRE_DTYPES[DTYPE_FLOAT64]
@@ -195,6 +224,38 @@ class ErrorReply:
     request_id: int
     code: int
     message: str
+
+
+@dataclass(frozen=True)
+class StatsSubscribe:
+    """A decoded STATS_SUBSCRIBE frame (interval is a request, see clamp)."""
+
+    request_id: int
+    interval_s: float
+
+
+@dataclass(frozen=True)
+class EventsSubscribe:
+    """A decoded EVENTS_SUBSCRIBE frame (empty ``topics`` = every topic)."""
+
+    request_id: int
+    topics: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class StatsFrame:
+    """A decoded STATS frame (one periodic server-stats snapshot)."""
+
+    request_id: int
+    payload: dict
+
+
+@dataclass(frozen=True)
+class EventFrame:
+    """A decoded EVENT frame (one telemetry event's ``as_dict`` payload)."""
+
+    request_id: int
+    payload: dict
 
 
 def frame_overhead(key: str = "") -> int:
@@ -326,6 +387,44 @@ def encode_error(request_id: int, code: int, message: str) -> bytes:
     return _frame(payload)
 
 
+def encode_stats_subscribe(request_id: int, interval_s: float = 0.0) -> bytes:
+    """One STATS_SUBSCRIBE frame (length prefix included)."""
+    if request_id < 1:
+        raise FrameError("request_id must be a positive integer (0 is the "
+                         "connection-fatal sentinel)")
+    payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, STATS_SUBSCRIBE,
+                            request_id)
+               + _STATS_SUB_HEAD.pack(float(interval_s)))
+    return _frame(payload)
+
+
+def encode_events_subscribe(request_id: int, topics=()) -> bytes:
+    """One EVENTS_SUBSCRIBE frame (length prefix included)."""
+    if request_id < 1:
+        raise FrameError("request_id must be a positive integer (0 is the "
+                         "connection-fatal sentinel)")
+    body = json.dumps([str(topic) for topic in topics]).encode("utf-8")
+    payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, EVENTS_SUBSCRIBE,
+                            request_id) + body)
+    return _frame(payload)
+
+
+def encode_stats(request_id: int, stats: dict) -> bytes:
+    """One STATS frame (length prefix included; body is UTF-8 JSON)."""
+    body = json.dumps(stats, sort_keys=True).encode("utf-8")
+    payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, STATS, request_id)
+               + body)
+    return _frame(payload)
+
+
+def encode_event(request_id: int, event: dict) -> bytes:
+    """One EVENT frame (length prefix included; body is UTF-8 JSON)."""
+    body = json.dumps(event, sort_keys=True).encode("utf-8")
+    payload = (_PREFIX.pack(MAGIC, PROTOCOL_VERSION, EVENT, request_id)
+               + body)
+    return _frame(payload)
+
+
 def decode_payload(payload: bytes):
     """Decode one frame payload (the bytes after the length prefix).
 
@@ -363,8 +462,49 @@ def decode_payload(payload: bytes):
         (code,) = _ERROR_HEAD.unpack_from(body)
         message = body[_ERROR_HEAD.size:].decode("utf-8", errors="replace")
         return ErrorReply(request_id=request_id, code=code, message=message)
+    if msg_type == STATS_SUBSCRIBE:
+        if request_id < 1:
+            raise FrameError("stats subscriptions need a positive request_id",
+                             code=E_BAD_FRAME)
+        if len(body) < _STATS_SUB_HEAD.size:
+            raise FrameError("truncated stats-subscribe frame",
+                             request_id=request_id, code=E_BAD_FRAME)
+        (interval_s,) = _STATS_SUB_HEAD.unpack_from(body)
+        return StatsSubscribe(request_id=request_id, interval_s=interval_s)
+    if msg_type == EVENTS_SUBSCRIBE:
+        if request_id < 1:
+            raise FrameError(
+                "events subscriptions need a positive request_id",
+                code=E_BAD_FRAME)
+        topics = _decode_json(body, request_id, "events-subscribe")
+        if not isinstance(topics, list) or not all(
+                isinstance(topic, str) for topic in topics):
+            raise FrameError(
+                "events-subscribe body must be a JSON list of topic names",
+                request_id=request_id, code=E_BAD_FRAME)
+        return EventsSubscribe(request_id=request_id, topics=tuple(topics))
+    if msg_type == STATS:
+        payload_dict = _decode_json(body, request_id, "stats")
+        if not isinstance(payload_dict, dict):
+            raise FrameError("stats body must be a JSON object",
+                             request_id=request_id, code=E_BAD_FRAME)
+        return StatsFrame(request_id=request_id, payload=payload_dict)
+    if msg_type == EVENT:
+        payload_dict = _decode_json(body, request_id, "event")
+        if not isinstance(payload_dict, dict):
+            raise FrameError("event body must be a JSON object",
+                             request_id=request_id, code=E_BAD_FRAME)
+        return EventFrame(request_id=request_id, payload=payload_dict)
     raise FrameError(f"unknown message type {msg_type}",
                      request_id=request_id, code=E_BAD_FRAME)
+
+
+def _decode_json(body: bytes, request_id: int, what: str):
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"malformed JSON in {what} frame: {exc}",
+                         request_id=request_id, code=E_BAD_FRAME) from None
 
 
 def _checked_dtype(dtype_code_raw: int, request_id: int, what: str) -> int:

@@ -26,6 +26,18 @@ re-synchronised after (bad magic, truncated or oversized header) fails only
 that connection (error frame with the ``request_id == 0`` connection-fatal
 sentinel, then close).  The model server, its dispatch lanes, and every
 other connection keep serving either way.
+
+Observability: a connection can also subscribe to push telemetry —
+``STATS_SUBSCRIBE`` starts periodic ``STATS`` frames (snapshots of
+``ServeStats.as_dict()`` plus the gateway counters) and ``EVENTS_SUBSCRIBE``
+streams the model server's broker events as ``EVENT`` frames.  Telemetry
+frames share the connection's ``max_inflight_per_conn`` slot budget: at the
+cap a stats tick is skipped and an events pump parks until a written reply
+frees a slot (its broker subscription keeps absorbing events, dropping
+oldest when full), so a slow telemetry consumer throttles only its own
+stream.  The gateway itself publishes ``ConnectionOpened`` /
+``ConnectionClosed``, ``ProtocolError`` and ``ChunkStreamError`` events to
+the same broker.
 """
 
 from __future__ import annotations
@@ -36,6 +48,8 @@ import threading
 from ..exceptions import GatewayError, ServeError, ServerClosedError
 from ..serve.server import ModelServer
 from ..serve.stats import GatewayCounters
+from ..telemetry.events import (ChunkStreamError, ConnectionClosed,
+                                ConnectionOpened, ProtocolError)
 from . import protocol
 
 __all__ = ["Gateway"]
@@ -51,11 +65,29 @@ class _Connection:
     """Loop-side state of one accepted connection."""
 
     __slots__ = ("writer", "outgoing", "inflight", "error_slots",
-                 "reads_resumed", "alive", "assembler")
+                 "reads_resumed", "alive", "assembler", "peer", "pumps",
+                 "slots_freed", "n_requests")
 
     def __init__(self, writer: asyncio.StreamWriter,
                  max_request_samples: int) -> None:
         self.writer = writer
+        peername = writer.get_extra_info("peername")
+        #: ``host:port`` of the client, for the connection-scoped telemetry
+        #: events (falls back to ``"?"`` on transports without a peername).
+        self.peer = (f"{peername[0]}:{peername[1]}"
+                     if isinstance(peername, (tuple, list))
+                     and len(peername) >= 2 else "?")
+        #: Telemetry pump tasks (stats/events subscriptions) of this
+        #: connection; cancelled at teardown before the writer sentinel.
+        self.pumps: list[asyncio.Task] = []
+        #: Set whenever a written reply frees an in-flight slot — how an
+        #: events pump parked at the cap learns it can enqueue again
+        #: (separate from ``reads_resumed`` so pumps and the read loop never
+        #: steal each other's wake-ups).
+        self.slots_freed = asyncio.Event()
+        #: Request frames admitted into the model server over this
+        #: connection's lifetime (reported by its ConnectionClosed event).
+        self.n_requests = 0
         #: Reply frames waiting for the writer task.  The queue object is
         #: unbounded but its occupancy is capped structurally: request
         #: replies by the in-flight accounting (a slot frees only once its
@@ -172,6 +204,11 @@ class Gateway:
         stats["address"] = f"{self.host}:{self.port}"
         return stats
 
+    @property
+    def telemetry(self):
+        """The model server's broker — the gateway publishes there too."""
+        return self._server.telemetry
+
     # ------------------------------------------------------------ event loop
     def _thread_main(self) -> None:
         try:
@@ -234,11 +271,33 @@ class Gateway:
         counters.n_connections += 1
         counters.n_open_connections += 1
         conn = _Connection(writer, self.policy.max_request_samples)
+        if self.telemetry:
+            self.telemetry.publish(ConnectionOpened(peer=conn.peer))
         writer_task = asyncio.ensure_future(self._write_loop(conn))
         try:
             await self._read_loop(reader, conn)
         finally:
             conn.alive = False
+            # Stop the telemetry pumps before the writer sentinel: a pump
+            # that survived it could enqueue frames nobody will ever write.
+            for pump in conn.pumps:
+                pump.cancel()
+            if conn.pumps:
+                await asyncio.gather(*conn.pumps, return_exceptions=True)
+            # Chunk series still streaming at disconnect never completed:
+            # account them as chunk-stream failures (the client is gone, so
+            # no error frame — just the counter and the event).
+            n_abandoned = len(conn.assembler)
+            if n_abandoned:
+                counters.n_chunk_stream_errors += n_abandoned
+                if self.telemetry:
+                    self.telemetry.publish(ChunkStreamError(
+                        peer=conn.peer,
+                        detail=f"{n_abandoned} chunk stream(s) abandoned "
+                               "at disconnect"))
+            if self.telemetry:
+                self.telemetry.publish(ConnectionClosed(
+                    peer=conn.peer, n_requests=conn.n_requests))
             # Let queued replies flush, then stop the writer — but never
             # wait out a peer that stalled its reads (drain() would block
             # forever); cancel the writer instead.
@@ -276,6 +335,9 @@ class Gateway:
             (length,) = protocol.LENGTH_PREFIX.unpack(head)
             if length > self.policy.max_frame_bytes:
                 counters.n_protocol_errors += 1
+                if self.telemetry:
+                    self.telemetry.publish(ProtocolError(
+                        peer=conn.peer, code=protocol.E_FRAME_TOO_LARGE))
                 await self._enqueue(conn, protocol.encode_error(
                     0, protocol.E_FRAME_TOO_LARGE,
                     f"frame of {length} bytes exceeds "
@@ -290,31 +352,65 @@ class Gateway:
             counters.n_frames_in += 1
             try:
                 message = protocol.decode_payload(payload)
-                if isinstance(message, protocol.RequestChunk):
-                    # Streaming request: absorb the chunk; submit only once
-                    # the series completes.  An inconsistent chunk raises —
-                    # attributed to its request id, so it fails exactly the
-                    # offending stream, never the connection.
-                    message = conn.assembler.feed(message)
-                    if message is None:
-                        continue
-                elif not isinstance(message, protocol.Request):
-                    raise_id = getattr(message, "request_id", 0)
-                    raise protocol.FrameError(
-                        "clients send request frames only",
-                        request_id=raise_id, code=protocol.E_BAD_FRAME)
             except protocol.FrameError as err:
-                counters.n_protocol_errors += 1
-                code = err.code or protocol.E_BAD_FRAME
-                await self._enqueue(
-                    conn, protocol.encode_error(err.request_id, code,
-                                                str(err)))
-                if err.request_id == 0:
-                    # Without a request id the stream can't be trusted to be
-                    # in sync any more: fail this connection, nothing else.
+                if not await self._frame_error(conn, err):
+                    return
+                continue
+            if isinstance(message, protocol.RequestChunk):
+                # Streaming request: absorb the chunk; submit only once
+                # the series completes.  An inconsistent chunk raises —
+                # attributed to its request id, so it fails exactly the
+                # offending stream, never the connection — and is counted
+                # as a chunk-stream failure distinct from garbled frames.
+                try:
+                    message = conn.assembler.feed(message)
+                except protocol.FrameError as err:
+                    counters.n_chunk_stream_errors += 1
+                    if self.telemetry:
+                        self.telemetry.publish(ChunkStreamError(
+                            peer=conn.peer, request_id=err.request_id,
+                            detail=str(err)))
+                    if not await self._frame_error(conn, err,
+                                                   publish=False):
+                        return
+                    continue
+                if message is None:
+                    continue
+            elif isinstance(message, protocol.StatsSubscribe):
+                self._start_stats_pump(conn, message)
+                continue
+            elif isinstance(message, protocol.EventsSubscribe):
+                self._start_events_pump(conn, message)
+                continue
+            elif not isinstance(message, protocol.Request):
+                err = protocol.FrameError(
+                    "clients send request or subscribe frames only",
+                    request_id=getattr(message, "request_id", 0),
+                    code=protocol.E_BAD_FRAME)
+                if not await self._frame_error(conn, err):
                     return
                 continue
             await self._submit(conn, message)
+
+    async def _frame_error(self, conn: _Connection,
+                           err: protocol.FrameError,
+                           publish: bool = True) -> bool:
+        """Account and answer one malformed frame.
+
+        Returns ``False`` when the error is connection-fatal (no request id
+        — the stream can't be trusted to be in sync any more) so the read
+        loop fails this connection, nothing else.  ``publish=False`` skips
+        the generic ``ProtocolError`` event for errors the caller already
+        published under a more specific type.
+        """
+        self.counters.n_protocol_errors += 1
+        code = err.code or protocol.E_BAD_FRAME
+        if publish and self.telemetry:
+            self.telemetry.publish(ProtocolError(
+                peer=conn.peer, code=code, request_id=err.request_id))
+        await self._enqueue(
+            conn, protocol.encode_error(err.request_id, code, str(err)))
+        return err.request_id != 0
 
     async def _submit(self, conn: _Connection,
                       message: protocol.Request) -> None:
@@ -330,6 +426,7 @@ class Gateway:
                 message.request_id, code, str(exc)))
             return
         counters.n_requests += 1
+        conn.n_requests += 1
         conn.inflight += 1
         request_id = message.request_id
         dtype = message.dtype
@@ -399,6 +496,72 @@ class Gateway:
     def _release_slot(self, conn: _Connection) -> None:
         conn.inflight -= 1
         conn.reads_resumed.set()
+        conn.slots_freed.set()
+
+    # ------------------------------------------------------- telemetry pumps
+    def _start_stats_pump(self, conn: _Connection,
+                          message: protocol.StatsSubscribe) -> None:
+        """Begin periodic STATS frames for one subscription (loop thread)."""
+        interval = max(self.policy.stats_interval, float(message.interval_s))
+        conn.pumps.append(asyncio.ensure_future(
+            self._stats_pump(conn, message.request_id, interval)))
+
+    async def _stats_pump(self, conn: _Connection, request_id: int,
+                          interval: float) -> None:
+        while conn.alive:
+            # Telemetry frames ride the same in-flight slot budget as data
+            # replies: at the cap the tick is skipped (stats are periodic
+            # snapshots — the next tick carries fresher numbers anyway), so
+            # a slow consumer throttles only itself.
+            if conn.inflight < self.policy.max_inflight_per_conn:
+                payload = self._server.stats().as_dict()
+                payload["gateway"] = self.stats()
+                conn.inflight += 1
+                conn.outgoing.put_nowait(
+                    (protocol.encode_stats(request_id, payload), True, 1))
+            await asyncio.sleep(interval)
+
+    def _start_events_pump(self, conn: _Connection,
+                           message: protocol.EventsSubscribe) -> None:
+        """Begin streaming EVENT frames for one subscription (loop thread)."""
+        loop = asyncio.get_running_loop()
+        ready = asyncio.Event()
+        # The broker wakeup fires on a publisher's thread; bounce it onto
+        # the loop.  The broker swallows wakeup exceptions, so a loop torn
+        # down mid-publish can never break the publishing lane.
+        subscription = self._server.telemetry.subscribe(
+            topics=message.topics or None,
+            maxsize=self.policy.telemetry_maxsize,
+            wakeup=lambda: loop.call_soon_threadsafe(ready.set))
+        conn.pumps.append(asyncio.ensure_future(
+            self._events_pump(conn, message.request_id, subscription, ready)))
+
+    async def _events_pump(self, conn: _Connection, request_id: int,
+                           subscription, ready: asyncio.Event) -> None:
+        try:
+            while conn.alive:
+                ready.clear()
+                while conn.inflight < self.policy.max_inflight_per_conn:
+                    event = subscription.get_nowait()
+                    if event is None:
+                        break
+                    conn.inflight += 1
+                    conn.outgoing.put_nowait((protocol.encode_event(
+                        request_id, event.as_dict()), True, 1))
+                if (len(subscription)
+                        and conn.inflight
+                        >= self.policy.max_inflight_per_conn):
+                    # Backlog but no slots: wait for a written reply to free
+                    # one.  Events keep accumulating in the subscription's
+                    # bounded queue meanwhile (dropping oldest when full) —
+                    # backpressure costs this subscriber history, never the
+                    # publisher latency and never other connections.
+                    conn.slots_freed.clear()
+                    await conn.slots_freed.wait()
+                else:
+                    await ready.wait()
+        finally:
+            subscription.close()
 
     async def _write_loop(self, conn: _Connection) -> None:
         try:
@@ -420,8 +583,10 @@ class Gateway:
         except (ConnectionError, OSError):
             conn.alive = False
             # Unblock a reader parked on backpressure or on an error slot
-            # (it re-checks conn.alive on wake-up and exits).
+            # (it re-checks conn.alive on wake-up and exits), and any events
+            # pump parked on the slot budget.
             conn.reads_resumed.set()
+            conn.slots_freed.set()
             conn.error_slots.release()
             # Drain until the read loop's sentinel arrives (nothing enqueues
             # after it: the read loop has exited by then).

@@ -40,6 +40,11 @@ class ServeRequest:
     #: server at resolve time and never stored per request.
     t_submit: float = 0.0
     t_closed: float = 0.0
+    #: Telemetry trace id assigned by :meth:`ModelServer.submit
+    #: <repro.serve.server.ModelServer.submit>`; rides with the request
+    #: through coalescing, dispatch and shard evaluation so the telemetry
+    #: events of one request chain together (``0`` = untraced).
+    trace_id: int = 0
 
     @property
     def n_steps(self) -> int:
@@ -56,6 +61,11 @@ class MicroBatch:
 
     def __len__(self) -> int:
         return len(self.requests)
+
+    @property
+    def trace_ids(self) -> tuple[int, ...]:
+        """Trace ids of the member requests, in row order."""
+        return tuple(request.trace_id for request in self.requests)
 
     def stack(self) -> np.ndarray:
         """The lock-step input array, one request per row."""
@@ -92,11 +102,19 @@ class _Group:
 
 
 class MicroBatcher:
-    """Per-``(model, n_steps)`` coalescing queues with deadline tracking."""
+    """Per-``(model, n_steps)`` coalescing queues with deadline tracking.
 
-    def __init__(self, max_batch: int, max_wait: float) -> None:
+    ``on_close`` (optional) is invoked with each :class:`MicroBatch` the
+    moment it closes, in whatever thread drove the transition — the server
+    uses it to publish ``BatchClosed`` telemetry under its own lock, keeping
+    this module free of clocks *and* of broker knowledge.
+    """
+
+    def __init__(self, max_batch: int, max_wait: float,
+                 on_close=None) -> None:
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait)
+        self.on_close = on_close
         self._groups: dict[tuple[str, int], _Group] = {}
 
     # ------------------------------------------------------------------ state
@@ -165,4 +183,7 @@ class MicroBatcher:
         for request in requests:
             request.t_closed = now
         key, n_steps = group_key
-        return MicroBatch(key=key, n_steps=n_steps, requests=requests)
+        batch = MicroBatch(key=key, n_steps=n_steps, requests=requests)
+        if self.on_close is not None:
+            self.on_close(batch)
+        return batch

@@ -46,8 +46,13 @@ class ModelCache:
     but never admitted — serving it must not flush every other warm model.
     """
 
-    def __init__(self, max_bytes: int) -> None:
+    def __init__(self, max_bytes: int,
+                 on_evict: Callable[[str, int], None] | None = None) -> None:
         self.max_bytes = int(max_bytes)
+        #: Optional ``(key, nbytes)`` hook fired on each LRU eviction — the
+        #: server's telemetry tap.  Called under whatever lock the caller
+        #: already holds, so it must be cheap and non-blocking.
+        self.on_evict = on_evict
         self._entries: OrderedDict[str, object] = OrderedDict()
         self._nbytes: dict[str, int] = {}
         self.current_bytes = 0
@@ -85,8 +90,11 @@ class ModelCache:
 
     def _evict_lru(self) -> None:
         evicted, _ = self._entries.popitem(last=False)
-        self.current_bytes -= self._nbytes.pop(evicted)
+        nbytes = self._nbytes.pop(evicted)
+        self.current_bytes -= nbytes
         self.stats.evictions += 1
+        if self.on_evict is not None:
+            self.on_evict(evicted, nbytes)
 
     def drop(self, key: str) -> None:
         """Forget one entry (no-op when absent)."""

@@ -85,6 +85,15 @@ class ServePolicy:
     #: Byte budget of each warm-model LRU cache (the dispatcher holds one;
     #: every shard worker holds its own).
     cache_bytes: int = 256 << 20
+    #: Fastest cadence (seconds) at which the gateway emits ``STATS`` frames
+    #: to a subscribed connection; a client asking for a shorter interval is
+    #: clamped up to this, so one eager dashboard cannot turn stats polling
+    #: into load.
+    stats_interval: float = 1.0
+    #: Queue bound of each gateway ``EVENTS_SUBSCRIBE`` subscription: events
+    #: beyond it drop oldest-first (counted on the subscription) instead of
+    #: growing server-side buffers for a slow telemetry consumer.
+    telemetry_maxsize: int = 4096
 
     def validate(self) -> None:
         if self.max_batch < 1:
@@ -120,3 +129,8 @@ class ServePolicy:
                 "the per-job deadline)")
         if self.cache_bytes < 0:
             raise ServeError("ServePolicy.cache_bytes must be non-negative")
+        if self.stats_interval <= 0.0:
+            raise ServeError("ServePolicy.stats_interval must be positive")
+        if self.telemetry_maxsize < 1:
+            raise ServeError(
+                "ServePolicy.telemetry_maxsize must be at least 1")

@@ -30,6 +30,7 @@ bitwise chunk-invariant, so neither sharding nor lane count changes a bit).
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import deque
@@ -40,6 +41,9 @@ import numpy as np
 
 from ..exceptions import ServeError, ServerClosedError
 from ..runtime.registry import ModelRegistry
+from ..telemetry.broker import TopicBroker
+from ..telemetry.events import (BatchClosed, BatchServed, CacheEvicted,
+                                RequestRejected, RequestSubmitted)
 from .batcher import MicroBatch, MicroBatcher, ServeRequest
 from .cache import ModelCache
 from .policy import ServePolicy
@@ -116,12 +120,20 @@ class ModelServer:
     def __init__(self, registry: ModelRegistry | str | Path,
                  policy: ServePolicy | None = None,
                  fault_injection=None, stall_injection=None,
-                 delay_injection: float = 0.0) -> None:
+                 delay_injection: float = 0.0,
+                 broker: TopicBroker | None = None) -> None:
         self.policy = policy or ServePolicy()
         self.policy.validate()
         self.registry = (registry if isinstance(registry, ModelRegistry)
                          else ModelRegistry(registry))
-        self._cache = ModelCache(self.policy.cache_bytes)
+        #: Push-telemetry broker: every lifecycle event of this server (and
+        #: its shard pool) is published here.  Falsy while nobody subscribes,
+        #: so every instrumentation site below guards with
+        #: ``if self.telemetry:`` and publishing stays near-free unobserved.
+        self.telemetry = broker if broker is not None else TopicBroker()
+        self._trace_ids = itertools.count(1)
+        self._cache = ModelCache(self.policy.cache_bytes,
+                                 on_evict=self._on_cache_evict)
         self._cache_lock = threading.Lock()
         self._pool: ShardPool | None = None
         if self.policy.n_workers > 0:
@@ -133,11 +145,15 @@ class ModelServer:
                 job_timeout=self.policy.job_timeout,
                 fault_injection=fault_injection,
                 stall_injection=stall_injection,
-                delay_injection=delay_injection)
+                delay_injection=delay_injection,
+                broker=self.telemetry)
         self._lock = threading.Lock()
         self._wakeup = threading.Condition(self._lock)
-        self._batcher = MicroBatcher(self.policy.max_batch, self.policy.max_wait)
+        self._batcher = MicroBatcher(self.policy.max_batch,
+                                     self.policy.max_wait,
+                                     on_close=self._on_batch_closed)
         self._closed = False
+        self._t_started = time.monotonic()
         # Dispatch lanes (guarded by _lock): created on demand as model keys
         # first appear, up to policy.n_lanes; then keys share lanes.
         self._lanes: list[_Lane] = []
@@ -163,6 +179,25 @@ class ModelServer:
         return (f"ModelServer({self.registry.root}, "
                 f"n_lanes={self.policy.n_lanes}, "
                 f"n_workers={self.policy.n_workers})")
+
+    # -------------------------------------------------------------- telemetry
+    def _on_batch_closed(self, batch: MicroBatch) -> None:
+        """Batcher ``on_close`` hook (runs under the server lock)."""
+        if self.telemetry:
+            self.telemetry.publish(BatchClosed(
+                key=batch.key, n_steps=batch.n_steps, n_rows=len(batch),
+                trace_ids=batch.trace_ids))
+
+    def _on_cache_evict(self, key: str, nbytes: int) -> None:
+        """Dispatcher-cache eviction hook (runs under the cache lock)."""
+        if self.telemetry:
+            self.telemetry.publish(CacheEvicted(key=key, nbytes=nbytes))
+
+    def _reject(self, key: str, reason: str, exc: ServeError) -> ServeError:
+        """Publish a ``RequestRejected`` event and hand back ``exc`` to raise."""
+        if self.telemetry:
+            self.telemetry.publish(RequestRejected(key=key, reason=reason))
+        return exc
 
     # ------------------------------------------------------------------ lanes
     def _lane_for(self, key: str) -> _Lane:
@@ -253,37 +288,45 @@ class ModelServer:
         """
         samples = np.asarray(samples, dtype=float)
         if samples.ndim != 1 or samples.size < 1:
-            raise ServeError(
+            raise self._reject(key, "bad_shape", ServeError(
                 f"request samples must be a non-empty 1-D array; got shape "
-                f"{samples.shape}")
+                f"{samples.shape}"))
         if samples.size > self.policy.max_request_samples:
-            raise ServeError(
+            raise self._reject(key, "oversized", ServeError(
                 f"request of {samples.size} samples exceeds the per-request "
                 f"limit ServePolicy.max_request_samples="
-                f"{self.policy.max_request_samples}")
+                f"{self.policy.max_request_samples}"))
         if not np.isfinite(samples).all():
             bad = int(np.flatnonzero(~np.isfinite(samples))[0])
-            raise ServeError(
+            raise self._reject(key, "non_finite", ServeError(
                 f"request contains a non-finite sample at step {bad}; "
                 "rejected before batching (it would poison its lock-step "
-                "batch)")
+                "batch)"))
         if key not in self.registry:
-            raise ServeError(
+            raise self._reject(key, "unknown_key", ServeError(
                 f"unknown model key {key[:12]!r}... — not in "
-                f"{self.registry.describe()}")
+                f"{self.registry.describe()}"))
         request = ServeRequest(key=key, samples=samples)
         with self._wakeup:
             if self._closed:
-                raise ServerClosedError(
+                raise self._reject(key, "closed", ServerClosedError(
                     f"{self.describe()} is closed; a submission after "
-                    "close() would enqueue a future that can never resolve")
+                    "close() would enqueue a future that can never resolve"))
             if self._n_inflight >= self.policy.max_queue_depth:
-                raise ServeError(
+                raise self._reject(key, "queue_full", ServeError(
                     f"scheduler queue is full: ServePolicy.max_queue_depth="
-                    f"{self.policy.max_queue_depth} requests already pending")
+                    f"{self.policy.max_queue_depth} requests already pending"))
             self._n_submitted += 1
             self._n_inflight += 1
             now = time.monotonic()
+            request.trace_id = next(self._trace_ids)
+            # Published before the batcher sees the request, under the same
+            # lock that closes batches: a request's RequestSubmitted always
+            # precedes the BatchClosed naming its trace id.
+            if self.telemetry:
+                self.telemetry.publish(RequestSubmitted(
+                    key=key, n_steps=request.n_steps,
+                    trace_id=request.trace_id))
             batch = self._batcher.add(request, now)
             if batch is not None:
                 self._route([batch])
@@ -305,11 +348,13 @@ class ModelServer:
 
     # -------------------------------------------------------------- execution
     def _execute(self, batch: MicroBatch) -> None:
+        t_started = time.monotonic()
         try:
             inputs = batch.stack()
             if self._pool is not None:
                 outputs = self._pool.evaluate(batch.key, inputs,
-                                              max_workers=self._worker_share())
+                                              max_workers=self._worker_share(),
+                                              trace_ids=batch.trace_ids)
             else:
                 # The dispatcher cache is shared across lanes: loads are
                 # serialised under a lock, evaluation (a pure function of
@@ -350,6 +395,14 @@ class ModelServer:
                 self._n_failed += len(batch)
                 if model is not None:
                     model.n_failed += len(batch)
+        # Published before the futures resolve, mirroring the accounting
+        # order: a caller returning from future.result() finds its request's
+        # full submit → closed → served chain already on the wire.
+        if self.telemetry:
+            self.telemetry.publish(BatchServed(
+                key=batch.key, n_steps=batch.n_steps, n_rows=len(batch),
+                ok=failure is None, duration_s=now - t_started,
+                trace_ids=batch.trace_ids))
         if failure is None:
             batch.resolve(outputs)
         else:
@@ -401,6 +454,7 @@ class ModelServer:
         including before the first batch completes — empty windows summarise
         to zeros.
         """
+        t_snapshot = time.monotonic()
         with self._lock:
             queue = list(self._queue_latencies)
             e2e = list(self._e2e_latencies)
@@ -436,4 +490,6 @@ class ModelServer:
             pool=self._pool.stats() if self._pool is not None else {},
             per_model=per_model,
             n_lanes=n_lanes,
+            t_snapshot=t_snapshot,
+            uptime_s=t_snapshot - self._t_started,
         )

@@ -60,6 +60,7 @@ import numpy as np
 from ..exceptions import ServeError
 from ..runtime.batch import evaluate_batch, shard_slices
 from ..runtime.registry import ModelHandle
+from ..telemetry.events import JobTimedOut, WorkerCrashed, WorkerRespawned
 from .cache import ModelCache
 
 __all__ = ["ShardPool"]
@@ -221,15 +222,20 @@ class ShardPool:
         Benchmark instrumentation: a per-job stall (seconds) in every
         worker, modelling remote-shard / I/O latency (see
         :func:`_worker_main`).  Unlike fault injection it survives respawns.
+    broker:
+        Optional :class:`~repro.telemetry.broker.TopicBroker` the pool
+        publishes its failure-path events to (``WorkerCrashed``,
+        ``JobTimedOut``, ``WorkerRespawned``); the server passes its own.
     """
 
     def __init__(self, registry_root, n_workers: int, cache_bytes: int = 256 << 20,
                  max_retries: int = 2, mp_context: str | None = None,
                  segment_bytes: int = 64 << 20, job_timeout: float = 0.0,
                  fault_injection=None, stall_injection=None,
-                 delay_injection: float = 0.0) -> None:
+                 delay_injection: float = 0.0, broker=None) -> None:
         if n_workers < 1:
             raise ServeError("ShardPool needs at least one worker")
+        self.broker = broker
         self.registry_root = str(registry_root)
         self.cache_bytes = int(cache_bytes)
         self.max_retries = int(max_retries)
@@ -317,6 +323,8 @@ class ShardPool:
         self._workers[index] = self._spawn(frozenset(), frozenset())
         with self._lease:
             self.respawns += 1
+        if self.broker:
+            self.broker.publish(WorkerRespawned(worker_index=index))
 
     # --------------------------------------------------------------- transport
     def _place_job(self, index: int, key: str, job_id: int,
@@ -357,13 +365,14 @@ class ShardPool:
             return False
 
     def _recv(self, index: int, expect_id: int):
-        """The reply for job ``expect_id``, or ``None`` if the worker died.
+        """``(reply, None)`` for job ``expect_id``, or ``(None, reason)``.
 
-        ``None`` also stands for a worker that is alive but has held the job
-        past ``job_timeout`` — the caller treats both identically (respawn,
-        charge the retry budget), which is exactly the contract: a wedged
-        worker must never hang a lane.  Stale replies from previously
-        abandoned batches are discarded.
+        ``reason`` is ``"crash"`` for a worker that died and ``"timeout"``
+        for one that is alive but has held the job past ``job_timeout`` —
+        the caller treats both identically for recovery (respawn, charge the
+        retry budget) and only uses the reason to publish the right
+        telemetry event: a wedged worker must never hang a lane.  Stale
+        replies from previously abandoned batches are discarded.
         """
         worker = self._workers[index]
         deadline = (time.monotonic() + self.job_timeout
@@ -373,24 +382,24 @@ class ShardPool:
                 if worker.conn.poll(_POLL_INTERVAL):
                     reply = worker.conn.recv()
                     if reply[0] == expect_id:
-                        return reply
+                        return reply, None
                     continue        # stale reply from an abandoned batch
             except Exception:   # noqa: BLE001 - EOF/partial pickle = crash
-                return None
+                return None, "crash"
             if not worker.process.is_alive():
                 # Drain a reply that raced the death, then report the crash.
                 try:
                     while worker.conn.poll(0):
                         reply = worker.conn.recv()
                         if reply[0] == expect_id:
-                            return reply
+                            return reply, None
                 except Exception:   # noqa: BLE001
                     pass
-                return None
+                return None, "crash"
             if deadline is not None and time.monotonic() >= deadline:
                 with self._lease:
                     self.timed_out_jobs += 1
-                return None         # alive but wedged: treated as a crash
+                return None, "timeout"  # alive but wedged: treat as a crash
 
     # ----------------------------------------------------------------- leasing
     def _acquire_workers(self, max_needed: int) -> list[int]:
@@ -417,7 +426,8 @@ class ShardPool:
 
     # --------------------------------------------------------------- execution
     def evaluate(self, key: str, inputs: np.ndarray,
-                 max_workers: int | None = None) -> np.ndarray:
+                 max_workers: int | None = None,
+                 trace_ids=None) -> np.ndarray:
         """Evaluate a lock-step batch, sharded across leased workers.
 
         Returns outputs in the input's row order, bitwise-equal to a
@@ -433,7 +443,9 @@ class ShardPool:
         ``max_workers`` caps this call's lease — a fair-share hint from the
         dispatch lanes so the first lane to dispatch cannot starve the
         others by grabbing the whole pool; a lone caller (no cap) leases
-        every free worker.
+        every free worker.  ``trace_ids`` (one per input row, in row order)
+        only feeds telemetry: failure events name exactly the requests that
+        were riding on the affected shard.
         """
         if self._closed:
             raise ServeError("shard pool is closed")
@@ -445,12 +457,17 @@ class ShardPool:
             cap = min(cap, max(1, int(max_workers)))
         leased = self._acquire_workers(cap)
         try:
-            return self._evaluate_on(leased, key, inputs)
+            return self._evaluate_on(leased, key, inputs, trace_ids)
         finally:
             self._release_workers(leased)
 
+    def _shard_traces(self, trace_ids, shard_slice) -> tuple:
+        if trace_ids is None:
+            return ()
+        return tuple(trace_ids[shard_slice])
+
     def _evaluate_on(self, leased: list[int], key: str,
-                     inputs: np.ndarray) -> np.ndarray:
+                     inputs: np.ndarray, trace_ids=None) -> np.ndarray:
         slices = shard_slices(inputs.shape[0], len(leased))
         outputs = np.empty_like(inputs)
         pending = list(range(len(slices)))
@@ -472,8 +489,20 @@ class ShardPool:
             pending = []
             failure: ServeError | None = None
             for job, job_id in dispatched:
-                reply = self._recv(leased[job], job_id)
+                reply, reason = self._recv(leased[job], job_id)
                 if reply is None:           # crash/wedge: respawn, maybe retry
+                    if self.broker:
+                        shard_traces = self._shard_traces(trace_ids,
+                                                          slices[job])
+                        if reason == "timeout":
+                            self.broker.publish(JobTimedOut(
+                                worker_index=leased[job], key=key,
+                                timeout_s=self.job_timeout,
+                                trace_ids=shard_traces))
+                        else:
+                            self.broker.publish(WorkerCrashed(
+                                worker_index=leased[job], key=key,
+                                trace_ids=shard_traces))
                     crashes[job] += 1
                     self._respawn(leased[job])
                     if crashes[job] > self.max_retries:
@@ -519,6 +548,11 @@ class ShardPool:
         if self._send(worker_index, self._place_job(worker_index, key, job_id,
                                                     rows)):
             return job_id
+        # Dead before the job even reached it — no rows were riding on it
+        # yet, so the crash event names the worker and key but no traces.
+        if self.broker:
+            self.broker.publish(WorkerCrashed(worker_index=worker_index,
+                                              key=key))
         self._respawn(worker_index)
         # The respawned worker owns a fresh segment: re-stage the rows.
         if self._send(worker_index, self._place_job(worker_index, key, job_id,

@@ -140,9 +140,18 @@ class ServeStats:
     #: least one request routed to a lane appear).
     per_model: dict = field(default_factory=dict)
     n_lanes: int = 1
+    #: When this snapshot was taken, on the server's monotonic clock — the
+    #: same time base as the telemetry event timestamps, so consecutive
+    #: snapshots difference into rates (req/s, batches/s) without wall-clock
+    #: jumps.
+    t_snapshot: float = 0.0
+    #: Seconds the server had been up when the snapshot was taken.
+    uptime_s: float = 0.0
 
     def as_dict(self) -> dict:
         return {
+            "t_snapshot": self.t_snapshot,
+            "uptime_s": self.uptime_s,
             "n_submitted": self.n_submitted,
             "n_completed": self.n_completed,
             "n_failed": self.n_failed,
@@ -160,6 +169,7 @@ class ServeStats:
 
     def describe(self, per_model: bool = True) -> str:
         lines = [
+            f"up {self.uptime_s:.1f} s: "
             f"served {self.n_completed}/{self.n_submitted} request(s) "
             f"({self.n_failed} failed, {self.n_pending} pending) in "
             f"{self.n_batches} batch(es) of {self.mean_batch_size:.1f} "
@@ -182,7 +192,8 @@ class GatewayCounters:
 
     __slots__ = ("n_connections", "n_open_connections",
                  "n_rejected_connections", "n_frames_in", "n_frames_out",
-                 "n_requests", "n_rejected_requests", "n_protocol_errors")
+                 "n_requests", "n_rejected_requests", "n_protocol_errors",
+                 "n_chunk_stream_errors")
 
     def __init__(self) -> None:
         #: Connections ever accepted (the admission-rejected ones excluded).
@@ -198,6 +209,11 @@ class GatewayCounters:
         self.n_rejected_requests = 0
         #: Malformed frames (bad magic/version/dtype, truncated, oversized).
         self.n_protocol_errors = 0
+        #: Chunked-request streams that failed reassembly (inconsistent
+        #: series, out-of-budget totals, or abandoned mid-stream at
+        #: disconnect).  Also counted in ``n_protocol_errors`` — this
+        #: breakdown tells truncated streams apart from garbled frames.
+        self.n_chunk_stream_errors = 0
 
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -209,4 +225,5 @@ class GatewayCounters:
                 f"{self.n_frames_in} frame(s) in / {self.n_frames_out} out, "
                 f"{self.n_requests} request(s) admitted, "
                 f"{self.n_rejected_requests} rejected, "
-                f"{self.n_protocol_errors} protocol error(s)")
+                f"{self.n_protocol_errors} protocol error(s) "
+                f"({self.n_chunk_stream_errors} chunk-stream)")

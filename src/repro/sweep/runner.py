@@ -22,6 +22,8 @@ import numpy as np
 
 from ..circuit.transient import TransientResult, transient_analysis
 from ..exceptions import ReproError
+from ..telemetry.broker import TopicBroker
+from ..telemetry.events import ScenarioCompleted, SweepCompleted, SweepStarted
 from ..tft import SnapshotTrajectory, TFTDataset, extract_tft
 from .scenarios import Scenario, validate_scenarios
 
@@ -40,6 +42,12 @@ class SweepOptions:
     #: Raise if any scenario fails (otherwise failures are collected on the
     #: individual :class:`ScenarioResult` objects).
     raise_on_error: bool = True
+    #: Optional :class:`~repro.telemetry.TopicBroker`.  When set (and it has
+    #: subscribers), the sweep publishes :class:`SweepStarted`, one
+    #: :class:`ScenarioCompleted` per finished scenario as results stream in
+    #: from the pool, and a closing :class:`SweepCompleted`.  The broker stays
+    #: in the driving process — it is never shipped to workers.
+    broker: TopicBroker | None = None
 
 
 @dataclass
@@ -209,11 +217,26 @@ def run_sweep(scenarios: Iterable[Scenario],
     n_workers = int(opts.n_workers or 1)
     wall_start = _time.perf_counter()
 
+    broker = opts.broker
     if n_workers <= 1 or len(scenario_list) <= 1:
         n_workers = 1
-        results = [_run_scenario(s, opts.capture_snapshots) for s in scenario_list]
     else:
         n_workers = min(n_workers, len(scenario_list))
+
+    if broker:
+        broker.publish(SweepStarted(n_scenarios=len(scenario_list),
+                                    n_workers=n_workers))
+
+    def _completed(result: ScenarioResult) -> ScenarioResult:
+        if broker:
+            broker.publish(ScenarioCompleted(name=result.name, ok=result.ok,
+                                             wall_time_s=result.wall_time))
+        return result
+
+    if n_workers == 1:
+        results = [_completed(_run_scenario(s, opts.capture_snapshots))
+                   for s in scenario_list]
+    else:
         # Fail fast with a named scenario instead of the executor's opaque
         # PicklingError mid-map (lambdas/closures as builders are the usual
         # culprit; builders must be module-level callables).  The payloads of
@@ -232,11 +255,17 @@ def run_sweep(scenarios: Iterable[Scenario],
                     "builder callables and waveforms, or run with n_workers=1"
                 ) from exc
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            results = list(pool.map(
+            # Iterate lazily so ScenarioCompleted events fire as scenarios
+            # finish, not all at once when the whole map is done.
+            results = [_completed(result) for result in pool.map(
                 _run_pickled_scenario, payloads,
-                [opts.capture_snapshots] * len(scenario_list)))
+                [opts.capture_snapshots] * len(scenario_list))]
 
     sweep = SweepResult(results, _time.perf_counter() - wall_start, n_workers)
+    if broker:
+        broker.publish(SweepCompleted(n_ok=len(sweep) - len(sweep.failed),
+                                      n_failed=len(sweep.failed),
+                                      wall_time_s=sweep.wall_time))
     if opts.raise_on_error and sweep.failed:
         details = "\n".join(f"--- {r.name} ---\n{r.error}" for r in sweep.failed)
         raise ReproError(

@@ -1,0 +1,52 @@
+"""Push telemetry for the serving stack: broker, events, durable run store.
+
+Three pieces compose the observability layer added in PR 7:
+
+* :class:`TopicBroker` — thread-safe bounded pub/sub; publishers never block,
+  slow subscribers drop (counted), no subscribers costs one truthiness test;
+* the typed event dataclasses of :mod:`~repro.telemetry.events`, each with a
+  monotonic timestamp and (where applicable) propagated trace ids;
+* :class:`RunStore` + :class:`RunRecorder` — a stdlib-``sqlite3`` journal of
+  runs/snapshots/events whose :meth:`~RunStore.replay` re-derives the
+  recorded request schedule for regression replay.
+"""
+
+from .broker import Subscription, TopicBroker
+from .events import (SCHEMA_VERSION, BatchClosed, BatchServed, CacheEvicted,
+                     ChunkStreamError, ConnectionClosed, ConnectionOpened,
+                     JobTimedOut, ProtocolError, RequestRejected,
+                     RequestSubmitted, ScenarioCompleted, SweepCompleted,
+                     SweepStarted, TelemetryEvent, WorkerCrashed,
+                     WorkerRespawned, event_from_dict, event_topics,
+                     register_event)
+from .recorder import RunRecorder
+from .runstore import ReplayRequest, RunRecord, RunStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TelemetryEvent",
+    "TopicBroker",
+    "Subscription",
+    "event_from_dict",
+    "event_topics",
+    "register_event",
+    "RequestSubmitted",
+    "RequestRejected",
+    "BatchClosed",
+    "BatchServed",
+    "WorkerCrashed",
+    "WorkerRespawned",
+    "JobTimedOut",
+    "CacheEvicted",
+    "ConnectionOpened",
+    "ConnectionClosed",
+    "ProtocolError",
+    "ChunkStreamError",
+    "SweepStarted",
+    "ScenarioCompleted",
+    "SweepCompleted",
+    "RunStore",
+    "RunRecord",
+    "RunRecorder",
+    "ReplayRequest",
+]

@@ -1,0 +1,292 @@
+"""Typed, schema-versioned telemetry events of the serving stack.
+
+Every event is a small frozen dataclass carrying a monotonic timestamp
+(``t``, stamped at construction on the publisher's clock) and, where the
+event concerns specific requests, the **trace ids** of those requests.  A
+trace id is assigned by :meth:`ModelServer.submit
+<repro.serve.server.ModelServer.submit>` and rides on the request through
+batch coalescing, lane dispatch, shard evaluation and reply resolution, so
+one request's full lifecycle is reconstructable from its event stream:
+``RequestSubmitted`` → ``BatchClosed`` (its batch) → ``BatchServed`` (and,
+on the failure paths, ``WorkerCrashed`` / ``JobTimedOut`` naming the same
+ids).
+
+Events serialise to plain JSON-able dicts via :meth:`TelemetryEvent.as_dict`
+— the payload of the gateway's ``EVENT`` wire frames and of the
+:class:`~repro.telemetry.runstore.RunStore` journal — and deserialise back
+through :func:`event_from_dict`.  The dict carries ``schema``
+(:data:`SCHEMA_VERSION`) so stored runs from older layouts are recognisable,
+and ``event`` (the class name), which doubles as the broker **topic**.
+
+Adding an event type: subclass, decorate with :func:`register_event`, keep
+the ``t`` field last (it defaults to construction time).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TelemetryEvent",
+    "event_from_dict",
+    "event_topics",
+    "register_event",
+    # serving-layer events
+    "RequestSubmitted",
+    "RequestRejected",
+    "BatchClosed",
+    "BatchServed",
+    "WorkerCrashed",
+    "WorkerRespawned",
+    "JobTimedOut",
+    "CacheEvicted",
+    # gateway events
+    "ConnectionOpened",
+    "ConnectionClosed",
+    "ProtocolError",
+    "ChunkStreamError",
+    # sweep events
+    "SweepStarted",
+    "ScenarioCompleted",
+    "SweepCompleted",
+]
+
+#: Version of the event payload layout; bumped when a field changes meaning
+#: or disappears (adding fields with defaults is backward compatible).
+SCHEMA_VERSION = 1
+
+#: Registry of event classes by name — the decode side of the wire/store.
+_EVENT_TYPES: dict[str, type] = {}
+
+
+def register_event(cls: type) -> type:
+    """Class decorator: make ``cls`` reconstructable by name."""
+    _EVENT_TYPES[cls.__name__] = cls
+    return cls
+
+
+def event_topics() -> tuple[str, ...]:
+    """Every registered event/topic name (sorted)."""
+    return tuple(sorted(_EVENT_TYPES))
+
+
+class TelemetryEvent:
+    """Base of every telemetry event (mixin over frozen dataclasses)."""
+
+    __slots__ = ()
+
+    @property
+    def topic(self) -> str:
+        """Broker topic of this event — its class name."""
+        return type(self).__name__
+
+    def as_dict(self) -> dict:
+        """JSON-able payload: ``event`` + ``schema`` + every field."""
+        payload: dict = {"event": self.topic, "schema": SCHEMA_VERSION}
+        for spec in fields(self):   # type: ignore[arg-type]
+            value = getattr(self, spec.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            payload[spec.name] = value
+        return payload
+
+
+def event_from_dict(payload: dict) -> TelemetryEvent:
+    """Rebuild a typed event from its :meth:`~TelemetryEvent.as_dict` form.
+
+    Unknown fields are ignored (forward compatible); an unknown ``event``
+    name raises ``KeyError`` naming it — callers that only want the dict can
+    skip this and keep the payload as-is.
+    """
+    name = payload.get("event")
+    cls = _EVENT_TYPES.get(name)
+    if cls is None:
+        raise KeyError(
+            f"unknown telemetry event type {name!r} (known: "
+            f"{', '.join(event_topics())})")
+    kwargs = {}
+    for spec in fields(cls):
+        if spec.name not in payload:
+            continue
+        value = payload[spec.name]
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[spec.name] = value
+    return cls(**kwargs)
+
+
+def _now() -> float:
+    return time.monotonic()
+
+
+# --------------------------------------------------------------- serving layer
+@register_event
+@dataclass(frozen=True)
+class RequestSubmitted(TelemetryEvent):
+    """A request was admitted by :meth:`ModelServer.submit` (trace id born)."""
+
+    key: str
+    n_steps: int
+    trace_id: int
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class RequestRejected(TelemetryEvent):
+    """A request was refused at submit time (before it could touch a batch)."""
+
+    key: str
+    reason: str
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class BatchClosed(TelemetryEvent):
+    """A coalescing group closed into a lock-step batch (full or deadline)."""
+
+    key: str
+    n_steps: int
+    n_rows: int
+    trace_ids: tuple = ()
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class BatchServed(TelemetryEvent):
+    """A batch finished executing; its futures are about to resolve."""
+
+    key: str
+    n_steps: int
+    n_rows: int
+    ok: bool
+    duration_s: float
+    trace_ids: tuple = ()
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class WorkerCrashed(TelemetryEvent):
+    """A shard worker died (or its pipe broke) while holding a job."""
+
+    worker_index: int
+    key: str = ""
+    trace_ids: tuple = ()
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class WorkerRespawned(TelemetryEvent):
+    """A crashed/wedged shard worker was replaced with a fresh process."""
+
+    worker_index: int
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class JobTimedOut(TelemetryEvent):
+    """A shard job missed ``ServePolicy.job_timeout`` (wedged worker)."""
+
+    worker_index: int
+    key: str = ""
+    timeout_s: float = 0.0
+    trace_ids: tuple = ()
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class CacheEvicted(TelemetryEvent):
+    """The dispatcher's byte-budget LRU evicted a warm model."""
+
+    key: str
+    nbytes: int
+    t: float = field(default_factory=_now)
+
+
+# -------------------------------------------------------------------- gateway
+@register_event
+@dataclass(frozen=True)
+class ConnectionOpened(TelemetryEvent):
+    """The gateway accepted a TCP connection (past admission control)."""
+
+    peer: str
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class ConnectionClosed(TelemetryEvent):
+    """An accepted gateway connection ended (either side)."""
+
+    peer: str
+    n_requests: int = 0
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class ProtocolError(TelemetryEvent):
+    """A malformed frame (request- or connection-scoped) on a connection."""
+
+    peer: str
+    code: int
+    request_id: int = 0
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class ChunkStreamError(TelemetryEvent):
+    """A chunked (streaming) request series failed reassembly.
+
+    Distinct from :class:`ProtocolError` so dashboards can tell truncated /
+    inconsistent streams apart from garbled single frames; mirrored by the
+    ``n_chunk_stream_errors`` gateway counter.
+    """
+
+    peer: str
+    request_id: int = 0
+    detail: str = ""
+    t: float = field(default_factory=_now)
+
+
+# ---------------------------------------------------------------------- sweep
+@register_event
+@dataclass(frozen=True)
+class SweepStarted(TelemetryEvent):
+    """A scenario sweep began executing."""
+
+    n_scenarios: int
+    n_workers: int = 1
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class ScenarioCompleted(TelemetryEvent):
+    """One sweep scenario finished (``ok=False`` carries no traceback —
+    the :class:`~repro.sweep.runner.ScenarioResult` does)."""
+
+    name: str
+    ok: bool
+    wall_time_s: float
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class SweepCompleted(TelemetryEvent):
+    """A scenario sweep finished; counts mirror ``SweepResult``."""
+
+    n_ok: int
+    n_failed: int
+    wall_time_s: float
+    t: float = field(default_factory=_now)

@@ -1,0 +1,91 @@
+"""Background bridge from a :class:`TopicBroker` to a :class:`RunStore`.
+
+:class:`RunRecorder` owns one subscription and a daemon thread: events are
+pulled in batches (one blocking ``get`` then a ``drain``, so bursts land in
+a single transaction) and journaled under a freshly opened run; an optional
+``stats_source`` callable is sampled every ``snapshot_interval`` seconds and
+journaled as snapshots.  ``close()`` drains whatever is still queued, takes
+a final snapshot and closes the run, recording the subscription's
+``n_dropped`` in the run meta so a lossy recording is visible as such.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from .broker import TopicBroker
+from .runstore import RunStore
+
+__all__ = ["RunRecorder"]
+
+_POLL_S = 0.1
+
+
+class RunRecorder:
+    """Journal a broker's event stream (and periodic stats) into a store."""
+
+    def __init__(self, broker: TopicBroker, store: RunStore, name: str = "run",
+                 stats_source: Callable[[], dict] | None = None,
+                 snapshot_interval: float = 1.0,
+                 topics=None, maxsize: int = 65536,
+                 meta: dict | None = None) -> None:
+        self._store = store
+        self._stats_source = stats_source
+        self._snapshot_interval = max(1e-3, float(snapshot_interval))
+        self.run_id = store.open_run(name, meta=meta)
+        self._sub = broker.subscribe(topics=topics, maxsize=maxsize)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"run-recorder-{self.run_id}", daemon=True)
+        self._thread.start()
+
+    @property
+    def n_dropped(self) -> int:
+        """Events lost because the recorder fell behind the publishers."""
+        return self._sub.n_dropped
+
+    def _flush(self) -> None:
+        batch = self._sub.drain()
+        if batch:
+            self._store.record_events(self.run_id, batch)
+
+    def _snapshot(self) -> None:
+        if self._stats_source is None:
+            return
+        try:
+            stats = self._stats_source()
+        except Exception:   # noqa: BLE001 - a failing source must not kill
+            return          # the recording thread; events keep flowing
+        if stats:
+            self._store.record_snapshot(self.run_id, stats)
+
+    def _loop(self) -> None:
+        next_snapshot = time.monotonic() + self._snapshot_interval
+        while not self._stop.is_set():
+            event = self._sub.get(timeout=_POLL_S)
+            if event is not None:
+                batch = [event] + self._sub.drain()
+                self._store.record_events(self.run_id, batch)
+            if time.monotonic() >= next_snapshot:
+                self._snapshot()
+                next_snapshot = time.monotonic() + self._snapshot_interval
+
+    def close(self) -> None:
+        """Stop recording: final drain, final snapshot, close the run."""
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._sub.close()
+        self._flush()
+        self._snapshot()
+        self._store.close_run(self.run_id,
+                              meta={"n_dropped": self._sub.n_dropped})
+
+    def __enter__(self) -> "RunRecorder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
