@@ -1,0 +1,46 @@
+"""``python -m repro.checks [paths...]`` — run the REP1xx suite.
+
+Prints one ``path:line: RULE message`` per finding (sorted, grep/editor
+friendly) and exits non-zero when anything fired, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from .engine import ALL_RULES, _load_rules, iter_python_files, run_paths
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="Static concurrency-invariant checker (rules REP101-REP106). "
+                    "Suppress a deliberate site with "
+                    "'# repro: allow[REP10x] <reason>'.")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to check "
+                             "(default: src/repro)")
+    parser.add_argument("--rule", action="append", dest="rules", metavar="REP1xx",
+                        help="run only the given rule id (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and what they enforce, then exit")
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_id, rule in sorted(_load_rules().items()):
+            doc = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule_id}  {doc}")
+        return 0
+
+    findings = run_paths(options.paths, only=options.rules)
+    for finding in findings:
+        print(finding.render())
+    n_files = len(iter_python_files(options.paths))
+    if findings:
+        print(f"\n{len(findings)} finding(s) in {n_files} file(s)")
+        return 1
+    print(f"clean: {n_files} file(s), {len(ALL_RULES)} rule(s)")
+    return 0

@@ -1,0 +1,138 @@
+"""Rule engine: parse files, run REP1xx rules, honor ``allow`` pragmas.
+
+A *rule* is a callable ``(path, tree, lines) -> list[(line, message)]``
+registered in :data:`ALL_RULES` under its ``REP1xx`` id.  The engine owns
+everything rule-agnostic: reading and parsing files, walking directories,
+and the suppression pragma
+
+.. code-block:: python
+
+    risky_call()  # repro: allow[REP102] publish ordering contract, see docstring
+
+A pragma suppresses the named rule(s) on its own line; a *comment-only*
+pragma line additionally covers the next source line (for statements too
+long to share a line with their justification).  The reason text is
+mandatory — an allow without a why is itself reported (as REP100, the
+engine's own rule id, also used for files that fail to parse).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+__all__ = ["Finding", "Pragmas", "ALL_RULES", "check_source", "run_paths"]
+
+#: The engine's own rule id: parse failures and malformed pragmas.
+ENGINE_RULE = "REP100"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rules>REP\d{3}(?:\s*,\s*REP\d{3})*)\]"
+    r"[ \t]*(?P<reason>.*)")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+class Pragmas:
+    """Per-file map of ``# repro: allow[...]`` suppressions."""
+
+    def __init__(self, lines: Sequence[str]) -> None:
+        #: line number -> set of suppressed rule ids
+        self._allowed: dict[int, set[str]] = {}
+        #: malformed pragmas, reported by the engine as findings
+        self.errors: list[tuple[int, str]] = []
+        for lineno, text in enumerate(lines, start=1):
+            match = _PRAGMA_RE.search(text)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",")}
+            if not match.group("reason").strip():
+                self.errors.append(
+                    (lineno, "allow pragma must give a reason: "
+                     "# repro: allow[REP1xx] <why this site is exempt>"))
+                continue
+            self._allowed.setdefault(lineno, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                # A comment-only pragma line covers the statement below it.
+                self._allowed.setdefault(lineno + 1, set()).update(rules)
+
+    def allows(self, rule: str, line: int) -> bool:
+        return rule in self._allowed.get(line, ())
+
+
+Rule = Callable[[str, ast.Module, Sequence[str]], "list[tuple[int, str]]"]
+
+#: rule id -> rule callable; populated by :func:`_load_rules`.
+ALL_RULES: dict[str, Rule] = {}
+
+
+def _load_rules() -> dict[str, Rule]:
+    if not ALL_RULES:
+        from . import registry_rules, rules
+
+        ALL_RULES.update(rules.RULES)
+        ALL_RULES.update(registry_rules.RULES)
+    return ALL_RULES
+
+
+def check_source(path: str, source: str,
+                 only: Iterable[str] | None = None) -> list[Finding]:
+    """Run the rule suite over one already-read source string.
+
+    ``only`` restricts to a subset of rule ids (used by the checker's own
+    tests to exercise one rule per fixture).
+    """
+    findings: list[Finding] = []
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path, exc.lineno or 1, ENGINE_RULE,
+                        f"file does not parse: {exc.msg}")]
+    lines = source.splitlines()
+    pragmas = Pragmas(lines)
+    for lineno, message in pragmas.errors:
+        findings.append(Finding(path, lineno, ENGINE_RULE, message))
+    for rule_id, rule in sorted(_load_rules().items()):
+        if only is not None and rule_id not in only:
+            continue
+        for lineno, message in rule(path, tree, lines):
+            if not pragmas.allows(rule_id, lineno):
+                findings.append(Finding(path, lineno, rule_id, message))
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.update(p for p in path.rglob("*.py")
+                       if "__pycache__" not in p.parts)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def run_paths(paths: Iterable[str | Path],
+              only: Iterable[str] | None = None) -> list[Finding]:
+    """Check every ``.py`` file under ``paths``; returns sorted findings."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(
+            check_source(str(path), path.read_text(encoding="utf-8"), only=only))
+    return sorted(findings)

@@ -1,0 +1,192 @@
+"""REP105: registries must be single-sourced, versioned and symmetric.
+
+Two registries matter in this stack and both have the same failure mode —
+a constant added on one side of a protocol and forgotten on the other:
+
+* **telemetry events** (:mod:`repro.telemetry.events`): every
+  ``TelemetryEvent`` subclass must be ``@register_event``-decorated exactly
+  once and be a frozen dataclass, and the module must carry a
+  ``SCHEMA_VERSION`` so recorded runs are replayable across versions;
+* **gateway frame codes** (:mod:`repro.gateway.protocol`): every frame
+  type compared against in ``decode_payload`` must be produced by an
+  encoder, every frame type packed into a frame header must be decoded,
+  and no two frame constants may share a wire value.
+
+The rule fires only on modules that *look like* one of those registries
+(define a ``TelemetryEvent`` subclass / a ``decode_payload`` function), so
+ordinary modules pay nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+__all__ = ["RULES"]
+
+
+# ------------------------------------------------------------ event registry
+
+
+def _decorator_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_frozen_dataclass(dec: ast.AST) -> bool:
+    if isinstance(dec, ast.Name):
+        return False  # bare @dataclass: mutable events would break replay
+    if isinstance(dec, ast.Call) and _decorator_name(dec) == "dataclass":
+        return any(kw.arg == "frozen" and
+                   isinstance(kw.value, ast.Constant) and kw.value.value is True
+                   for kw in dec.keywords)
+    return False
+
+
+def _check_event_registry(tree: ast.Module) -> list[tuple[int, str]]:
+    event_classes = [
+        node for node in ast.walk(tree) if isinstance(node, ast.ClassDef)
+        and any(_terminal(base) == "TelemetryEvent" for base in node.bases)
+    ]
+    if not event_classes:
+        return []
+    findings: list[tuple[int, str]] = []
+    has_schema = any(
+        isinstance(node, ast.Assign)
+        and any(isinstance(t, ast.Name) and t.id == "SCHEMA_VERSION"
+                for t in node.targets)
+        for node in tree.body)
+    if not has_schema:
+        findings.append((event_classes[0].lineno,
+                         "event registry module must define SCHEMA_VERSION "
+                         "so recorded runs stay replayable"))
+    seen: dict[str, int] = {}
+    for cls in event_classes:
+        n_register = sum(1 for dec in cls.decorator_list
+                         if _decorator_name(dec) == "register_event")
+        if n_register != 1:
+            findings.append((cls.lineno,
+                             f"event {cls.name} must be @register_event-"
+                             f"decorated exactly once (found {n_register})"))
+        elif not any(_is_frozen_dataclass(dec) for dec in cls.decorator_list):
+            findings.append((cls.lineno,
+                             f"event {cls.name} must be "
+                             "@dataclass(frozen=True): events are shared "
+                             "across threads and recorded verbatim"))
+        elif cls.name in seen:
+            findings.append((cls.lineno,
+                             f"event {cls.name} registered twice (first at "
+                             f"line {seen[cls.name]}): topic names must be "
+                             "unique"))
+        seen.setdefault(cls.name, cls.lineno)
+    return findings
+
+
+# ------------------------------------------------------------- frame symmetry
+
+
+def _terminal(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _int_constants(tree: ast.Module) -> dict[str, tuple[int, int]]:
+    """UPPERCASE module constants -> (value, lineno); handles tuple unpack."""
+    out: dict[str, tuple[int, int]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            names: list[ast.AST] = [target]
+            values: list[ast.AST] = [node.value]
+            if isinstance(target, ast.Tuple) and \
+                    isinstance(node.value, ast.Tuple) and \
+                    len(target.elts) == len(node.value.elts):
+                names, values = list(target.elts), list(node.value.elts)
+            for name, value in zip(names, values):
+                if isinstance(name, ast.Name) and name.id.isupper() and \
+                        isinstance(value, ast.Constant) and \
+                        isinstance(value.value, int) and \
+                        not isinstance(value.value, bool):
+                    out[name.id] = (value.value, name.lineno)
+    return out
+
+
+def _check_frame_symmetry(tree: ast.Module) -> list[tuple[int, str]]:
+    decoder = next((node for node in ast.walk(tree)
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and node.name == "decode_payload"), None)
+    if decoder is None:
+        return []
+    findings: list[tuple[int, str]] = []
+    constants = _int_constants(tree)
+
+    # D: frame-type names the decoder dispatches on (msg_type == NAME).
+    decoded: dict[str, int] = {}
+    for node in ast.walk(decoder):
+        if isinstance(node, ast.Compare) and \
+                isinstance(node.left, ast.Name) and \
+                node.left.id == "msg_type" and \
+                all(isinstance(op, ast.Eq) for op in node.ops):
+            for comp in node.comparators:
+                name = _terminal(comp)
+                if name and name.isupper():
+                    decoded.setdefault(name, node.lineno)
+
+    # P: names packed as the frame-type slot of a header (3rd pack arg);
+    # E: every UPPERCASE frame name referenced inside an encode_* function.
+    packed: dict[str, int] = {}
+    encoded: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "pack" and len(node.args) >= 3:
+            name = _terminal(node.args[2])
+            if name and name.isupper():
+                packed.setdefault(name, node.lineno)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and \
+                node.name.startswith("encode_"):
+            encoded.update(sub.id for sub in ast.walk(node)
+                           if isinstance(sub, ast.Name) and sub.id.isupper())
+
+    for name, lineno in decoded.items():
+        if name not in packed and name not in encoded:
+            findings.append((lineno,
+                             f"frame type {name} is decoded but no encoder "
+                             "produces it (asymmetric protocol)"))
+    for name, lineno in packed.items():
+        if name not in decoded:
+            findings.append((lineno,
+                             f"frame type {name} is encoded but "
+                             "decode_payload never handles it "
+                             "(asymmetric protocol)"))
+
+    by_value: dict[int, str] = {}
+    for name in sorted(set(decoded) | set(packed)):
+        if name not in constants:
+            continue
+        value, lineno = constants[name]
+        if value in by_value:
+            findings.append((lineno,
+                             f"frame types {by_value[value]} and {name} share "
+                             f"wire value {value}: codes must be unique"))
+        else:
+            by_value[value] = name
+    return findings
+
+
+def rep105_registry_symmetry(path: str, tree: ast.Module,
+                             lines: Sequence[str]):
+    """Event/frame registries: registered once, versioned, symmetric."""
+    return _check_event_registry(tree) + _check_frame_symmetry(tree)
+
+
+RULES = {"REP105": rep105_registry_symmetry}

@@ -399,7 +399,7 @@ class AsyncGatewayClient:
             self._reader_task.cancel()
             try:
                 await self._reader_task
-            except (asyncio.CancelledError, Exception):   # noqa: BLE001
+            except (asyncio.CancelledError, Exception):   # repro: allow[REP104] reader died on its own error; close() must still succeed
                 pass
         if self._writer is not None:
             try:

@@ -39,6 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..checks import lockwatch
 from ..exceptions import ServeError, ServerClosedError
 from ..runtime.registry import ModelRegistry
 from ..telemetry.broker import TopicBroker
@@ -72,7 +73,7 @@ class _Lane:
         self.queue: deque[MicroBatch] = deque()
         #: Signalled (under the server lock) when a batch is routed here or
         #: the server starts shutting down.
-        self.ready = threading.Condition(server._lock)
+        self.ready = lockwatch.monitored_condition("serve.server", server._lock)
         #: True while this lane's thread is inside a batch evaluation
         #: (guarded by the server lock; feeds the fair-share worker split).
         self.executing = False
@@ -134,7 +135,7 @@ class ModelServer:
         self._trace_ids = itertools.count(1)
         self._cache = ModelCache(self.policy.cache_bytes,
                                  on_evict=self._on_cache_evict)
-        self._cache_lock = threading.Lock()
+        self._cache_lock = lockwatch.monitored_lock("serve.cache")
         self._pool: ShardPool | None = None
         if self.policy.n_workers > 0:
             self._pool = ShardPool(
@@ -147,8 +148,8 @@ class ModelServer:
                 stall_injection=stall_injection,
                 delay_injection=delay_injection,
                 broker=self.telemetry)
-        self._lock = threading.Lock()
-        self._wakeup = threading.Condition(self._lock)
+        self._lock = lockwatch.monitored_lock("serve.server")
+        self._wakeup = lockwatch.monitored_condition("serve.server", self._lock)
         self._batcher = MicroBatcher(self.policy.max_batch,
                                      self.policy.max_wait,
                                      on_close=self._on_batch_closed)
@@ -184,6 +185,7 @@ class ModelServer:
     def _on_batch_closed(self, batch: MicroBatch) -> None:
         """Batcher ``on_close`` hook (runs under the server lock)."""
         if self.telemetry:
+            # repro: allow[REP102] closes happen under the server lock so BatchClosed follows its RequestSubmitted
             self.telemetry.publish(BatchClosed(
                 key=batch.key, n_steps=batch.n_steps, n_rows=len(batch),
                 trace_ids=batch.trace_ids))
@@ -191,6 +193,7 @@ class ModelServer:
     def _on_cache_evict(self, key: str, nbytes: int) -> None:
         """Dispatcher-cache eviction hook (runs under the cache lock)."""
         if self.telemetry:
+            # repro: allow[REP102] eviction order is the contract; publish is non-blocking drop-oldest
             self.telemetry.publish(CacheEvicted(key=key, nbytes=nbytes))
 
     def _reject(self, key: str, reason: str, exc: ServeError) -> ServeError:
@@ -324,6 +327,7 @@ class ModelServer:
             # lock that closes batches: a request's RequestSubmitted always
             # precedes the BatchClosed naming its trace id.
             if self.telemetry:
+                # repro: allow[REP102] publish is non-blocking (drop-oldest) and the ordering contract needs the lock
                 self.telemetry.publish(RequestSubmitted(
                     key=key, n_steps=request.n_steps,
                     trace_id=request.trace_id))

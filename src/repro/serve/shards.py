@@ -57,6 +57,7 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from ..checks import lockwatch
 from ..exceptions import ServeError
 from ..runtime.batch import evaluate_batch, shard_slices
 from ..runtime.registry import ModelHandle
@@ -249,7 +250,7 @@ class ShardPool:
         #: of worker indices (every free one, at least one) and returns them
         #: when its batch is collected.  The condition's lock also guards the
         #: job-id sequence and the public counters.
-        self._lease = threading.Condition()
+        self._lease = lockwatch.monitored_condition("serve.shards.lease")
         self._free: set[int] = set(range(int(n_workers)))
         self.respawns = 0
         self.retried_jobs = 0
@@ -384,7 +385,7 @@ class ShardPool:
                     if reply[0] == expect_id:
                         return reply, None
                     continue        # stale reply from an abandoned batch
-            except Exception:   # noqa: BLE001 - EOF/partial pickle = crash
+            except Exception:   # repro: allow[REP104] EOF/partial pickle means the worker died; surfaced as a crash result
                 return None, "crash"
             if not worker.process.is_alive():
                 # Drain a reply that raced the death, then report the crash.
@@ -393,7 +394,7 @@ class ShardPool:
                         reply = worker.conn.recv()
                         if reply[0] == expect_id:
                             return reply, None
-                except Exception:   # noqa: BLE001
+                except Exception:   # repro: allow[REP104] draining a dead worker's pipe is best-effort; crash is reported below
                     pass
                 return None, "crash"
             if deadline is not None and time.monotonic() >= deadline:
@@ -615,5 +616,5 @@ class ShardPool:
     def __del__(self) -> None:   # pragma: no cover - best-effort cleanup
         try:
             self.close()
-        except Exception:   # noqa: BLE001
+        except Exception:   # repro: allow[REP104] __del__ during interpreter teardown must never raise
             pass

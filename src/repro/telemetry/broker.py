@@ -27,9 +27,10 @@ Consumption is pull-based and thread-safe: blocking :meth:`Subscription.get`
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Callable, Iterable
+
+from ..checks import lockwatch
 
 __all__ = ["Subscription", "TopicBroker"]
 
@@ -51,7 +52,7 @@ class Subscription:
         #: Events ever enqueued for this subscriber (dropped ones included).
         self.n_delivered = 0
         self._events: deque = deque()
-        self._cond = threading.Condition()
+        self._cond = lockwatch.monitored_condition("telemetry.subscription")
         self._closed = False
         self._wakeup = wakeup
 
@@ -80,7 +81,7 @@ class Subscription:
             # mid-delivery must never propagate into the publishing hot path.
             try:
                 self._wakeup()
-            except Exception:   # noqa: BLE001 - publisher must survive
+            except Exception:   # repro: allow[REP104] a raising subscriber must never break the publishing hot path
                 pass
 
     # -------------------------------------------------------- consumer side
@@ -158,7 +159,7 @@ class TopicBroker:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = lockwatch.monitored_lock("telemetry.broker")
         #: Immutable snapshot, replaced wholesale on (un)subscribe — publish
         #: iterates it without taking the broker lock.
         self._subs: tuple[Subscription, ...] = ()
@@ -210,6 +211,7 @@ class TopicBroker:
         subs = self._subs
         if not subs:
             return 0
+        lockwatch.note_publish()
         topic = type(event).__name__
         n = 0
         for sub in subs:

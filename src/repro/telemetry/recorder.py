@@ -56,8 +56,8 @@ class RunRecorder:
             return
         try:
             stats = self._stats_source()
-        except Exception:   # noqa: BLE001 - a failing source must not kill
-            return          # the recording thread; events keep flowing
+        except Exception:   # repro: allow[REP104] a failing stats source must not kill the recording thread
+            return
         if stats:
             self._store.record_snapshot(self.run_id, stats)
 

@@ -27,10 +27,10 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
-import threading
 import time
 from dataclasses import dataclass
 
+from ..checks import lockwatch
 from ..exceptions import RunStoreError
 from .events import TelemetryEvent
 
@@ -110,7 +110,7 @@ class RunStore:
 
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = os.fspath(path)
-        self._lock = threading.Lock()
+        self._lock = lockwatch.monitored_lock("telemetry.runstore")
         try:
             self._db = sqlite3.connect(self.path, check_same_thread=False)
             # Exercise the file now: sqlite3.connect is lazy, so a garbage
@@ -152,7 +152,8 @@ class RunStore:
             cursor = self._execute(
                 "INSERT INTO runs (name, t_opened, wall_opened, meta) "
                 "VALUES (?, ?, ?, ?)",
-                (name, time.monotonic(), time.time(),
+                (name, time.monotonic(),
+                 time.time(),  # repro: allow[REP103] wall_opened is human-facing provenance, not a deadline
                  _canonical(meta or {})))
             self._db.commit()
             return int(cursor.lastrowid)

@@ -8,9 +8,23 @@ share one extraction.
 import numpy as np
 import pytest
 
+from repro.checks import lockwatch
 from repro.circuit import Circuit, CubicConductance, Sine, TransientOptions, transient_analysis
 from repro.rvf import RVFOptions, extract_rvf_model
 from repro.tft import SnapshotTrajectory, default_frequency_grid, extract_tft
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lockwatch_gate():
+    """Make runtime lock violations fatal when REPRO_LOCKWATCH=1 is set.
+
+    The serving-stack locks are lockwatch-instrumented whenever the watcher
+    is active, so simply running the suite exercises the sanitizer on real
+    traffic; this gate turns anything it recorded into a session failure.
+    """
+    yield
+    if lockwatch.is_enabled():
+        lockwatch.assert_clean()
 
 
 def build_nonlinear_lowpass(waveform, name="nonlinear_lowpass"):
