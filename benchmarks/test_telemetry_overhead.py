@@ -1,6 +1,6 @@
 """Acceptance benchmark of the push-telemetry stack (:mod:`repro.telemetry`).
 
-Two claims, recorded into ``BENCH_telemetry.json``:
+Three claims, recorded into ``BENCH_telemetry.json``:
 
 * ``live_subscriber_overhead`` — serving >= 1000 requests with telemetry
   enabled **and a live events subscriber draining the stream** must stay
@@ -10,6 +10,11 @@ Two claims, recorded into ``BENCH_telemetry.json``:
   machine noise hits both sides alike.  The subscribed runs double as the
   trace-chain acceptance: every request's trace id must appear in its
   ``RequestSubmitted``, then in a ``BatchClosed`` and a ``BatchServed``.
+* ``aggregator_overhead`` — the same gate for the PR 9 consumer tier: a
+  live :class:`~repro.telemetry.MetricsAggregator` folding the stream into
+  windows (trace pairing, percentile summaries, republication) must also
+  stay within 5%, measured with the same interleaved-load IQ-mean
+  methodology.
 * ``record_replay`` — a :class:`~repro.telemetry.RunRecorder` journals a
   1000-request session into a :class:`~repro.telemetry.RunStore`; replaying
   the recorded schedule against a fresh server re-serves every request
@@ -34,6 +39,7 @@ from repro.serve import ModelServer, ServePolicy
 from repro.telemetry import (
     BatchClosed,
     BatchServed,
+    MetricsAggregator,
     RequestSubmitted,
     RunRecorder,
     RunStore,
@@ -137,6 +143,20 @@ def _subscribed_load(server, key, stimuli, events):
     return seconds, served
 
 
+def _aggregated_load(server, key, stimuli):
+    """One timed load with a live MetricsAggregator folding the stream."""
+    aggregator = MetricsAggregator(server.telemetry, window_s=0.25,
+                                   n_windows=256,
+                                   max_batch=POLICY.max_batch,
+                                   maxsize=1 << 17, republish=False)
+    seconds, served = _time_load(server, key, stimuli)
+    aggregator.close()
+    assert aggregator.n_dropped == 0, (
+        f"aggregator dropped {aggregator.n_dropped} events — enlarge the "
+        "benchmark subscription queue")
+    return seconds, served, aggregator.report()
+
+
 class TestTelemetryOverhead:
     def test_live_subscriber_overhead_within_5pct(self, capsys):
         registry = ModelRegistry(tempfile.mkdtemp(prefix="telemetry-bench-"))
@@ -217,6 +237,75 @@ class TestTelemetryOverhead:
             f"live events subscriber costs {(overhead - 1) * 100:.1f}% "
             f"(> {(OVERHEAD_GATE - 1) * 100:.0f}%) of serve throughput")
 
+    def test_metrics_aggregator_overhead_within_5pct(self, capsys):
+        """The windowed-metrics consumer inherits the 5% overhead gate."""
+        registry = ModelRegistry(tempfile.mkdtemp(prefix="telemetry-bench-"))
+        compiled = compile_model(_model(), dt=1e-9, input_range=(0.0, 1.0))
+        key = registry.save(compiled)
+        stimuli = _stimuli(seed=3)
+        direct = compiled.evaluate(stimuli)
+
+        plain_times, aggregated_times = [], []
+        report = None
+        with ModelServer(registry, POLICY) as server:
+            warm = [server.submit(key, row) for row in stimuli[:N_WARMUP]]
+            for future in warm:
+                future.result(FUTURE_TIMEOUT)
+            for load in range(N_LOADS):
+                seconds, served = _time_load(server, key, stimuli)
+                np.testing.assert_array_equal(served, direct)
+                plain_times.append(seconds)
+                seconds, served, report = _aggregated_load(
+                    server, key, stimuli)
+                np.testing.assert_array_equal(served, direct)
+                aggregated_times.append(seconds)
+
+        def iq_mean(times):
+            trim = len(times) // 4
+            kept = sorted(times)[trim:len(times) - trim]
+            return sum(kept) / len(kept)
+
+        plain_s = iq_mean(plain_times)
+        aggregated_s = iq_mean(aggregated_times)
+        overhead = aggregated_s / plain_s
+
+        # Aggregation acceptance on the last load: the fold covered the
+        # whole session with complete trace pairing.
+        assert report.n_submitted == N_REQUESTS
+        assert report.n_served == N_REQUESTS
+        assert report.n_unmatched == 0
+        assert report.n_subscriber_dropped == 0
+        assert report.e2e_latency.count == N_REQUESTS
+        assert 0.0 < report.fill_ratio <= 1.0
+
+        with capsys.disabled():
+            print(f"\n[telemetry] {N_REQUESTS} requests x {N_STEPS} steps, "
+                  f"{N_LOADS} alternated loads per mode: plain IQ-mean "
+                  f"{plain_s * 1e3:.0f} ms, live aggregator IQ-mean "
+                  f"{aggregated_s * 1e3:.0f} ms ({overhead:.3f}x); last "
+                  f"fold: {report.n_windows} windows, e2e p95 "
+                  f"{report.e2e_latency.p95 * 1e3:.2f} ms, fill "
+                  f"{report.fill_ratio * 100.0:.0f}%")
+
+        record_benchmark("BENCH_telemetry.json", "aggregator_overhead", {
+            "n_requests": N_REQUESTS,
+            "n_steps": N_STEPS,
+            "n_loads_per_mode": N_LOADS,
+            "cpu_count": os.cpu_count(),
+            "window_s": 0.25,
+            "plain_s_iq_mean": plain_s,
+            "aggregated_s_iq_mean": aggregated_s,
+            "plain_s_all": plain_times,
+            "aggregated_s_all": aggregated_times,
+            "overhead_x": overhead,
+            "overhead_gate_x": OVERHEAD_GATE,
+            "last_report": report.as_dict(),
+        })
+
+        assert overhead <= OVERHEAD_GATE, (
+            f"live metrics aggregator costs {(overhead - 1) * 100:.1f}% "
+            f"(> {(OVERHEAD_GATE - 1) * 100:.0f}%) of serve throughput")
+
     def test_record_replay_1000_requests_bitwise(self, capsys, tmp_path):
         """A journaled 1000-request session replays bitwise-identically."""
         registry = ModelRegistry(tempfile.mkdtemp(prefix="telemetry-bench-"))
@@ -240,7 +329,7 @@ class TestTelemetryOverhead:
 
         run = store.runs()[-1]
         assert run.closed
-        schedule = store.replay(run.run_id)
+        schedule = list(store.replay(run.run_id))
         assert len(schedule) == N_REQUESTS
         # The journal preserved submission order: trace ids ascend with it.
         trace_ids = [entry.trace_id for entry in schedule]

@@ -1,0 +1,268 @@
+"""Live terminal dashboard over the metrics / alerting consumer tier.
+
+``examples/telemetry_replay.py`` journaled and replayed the raw event
+stream; this example shows the tier built on top of it in PR 9: a
+:class:`~repro.telemetry.MetricsAggregator` folds the server's events into
+fixed-duration windows and republishes ``MetricsWindowClosed`` through the
+same broker, an :class:`~repro.telemetry.AlertManager` evaluates threshold
+rules (with hysteresis) over those windows and republishes ``AlertRaised``
+/ ``AlertCleared`` — and because both ride the ordinary event topics, a
+**remote** dashboard needs nothing but the gateway's existing
+``subscribe_stats`` / ``subscribe_events`` wire streams:
+
+1. one trained RC-ladder model behind a :class:`~repro.gateway.Gateway`,
+   with aggregator + alert rules attached to ``server.telemetry``,
+2. a traffic thread drives three phases through a data client — steady
+   load, an overload burst (which trips the p95 latency alert), steady
+   again (which clears it),
+3. the dashboard thread is a dedicated ``GatewayClient`` consuming
+   ``MetricsWindowClosed`` / ``AlertRaised`` / ``AlertCleared`` EVENT
+   frames plus periodic ``subscribe_stats`` snapshots, rendering a rolling
+   stdlib-only terminal view: throughput sparkline, latency percentiles,
+   batch fill, queue depth, and the active-alert panel.
+
+Run with:  python examples/live_dashboard.py
+(set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
+"""
+
+import collections
+import os
+import sys
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from repro.circuit import Sine, TransientOptions
+from repro.circuits import build_rc_ladder
+from repro.exceptions import GatewayError
+from repro.gateway import Gateway, GatewayClient
+from repro.runtime import ModelRegistry, compile_model
+from repro.rvf import RVFOptions, extract_rvf_model
+from repro.serve import ModelServer, ServePolicy
+from repro.sweep import run_sweep, waveform_sweep
+from repro.telemetry import AlertManager, AlertRule, MetricsAggregator
+
+#: Reduced workload for CI smoke runs (REPRO_EXAMPLES_SMOKE=1).
+SMOKE = os.environ.get("REPRO_EXAMPLES_SMOKE", "") not in ("", "0")
+N_STEPS = 100
+#: (requests, per-request pause) of the steady / overload / steady phases.
+PHASES = [(60, 0.02), (400, 0.0), (60, 0.02)] if SMOKE else \
+    [(200, 0.02), (1500, 0.0), (200, 0.02)]
+WINDOW_S = 0.25
+#: Injected per-job worker stall (the ``delay_injection`` hook) modelling a
+#: remote shard: steady paced traffic absorbs it, the pipelined burst
+#: queues behind it and pushes e2e p95 over the alert bound.
+DELAY_S = 0.008
+#: e2e p95 bound the overload burst is meant to trip.
+P95_BOUND_S = 0.050
+SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def extract_compiled(transient: TransientOptions):
+    """One trained + compiled RC-ladder model."""
+    scenarios = waveform_sweep(
+        build_rc_ladder, [Sine(0.5, amp, 2e5) for amp in (0.1, 0.25, 0.4)],
+        transient=transient, builder_kwargs={"n_sections": 2})
+    sweep = run_sweep(scenarios)
+    dataset = sweep.extract_combined_tft(max_snapshots=40)
+    extraction = extract_rvf_model(dataset, RVFOptions(error_bound=5e-3))
+    states = dataset.state_axis()
+    compiled = compile_model(
+        extraction.model, dt=transient.dt,
+        input_range=(float(states.min()) - 0.05, float(states.max()) + 0.05))
+    return compiled, sweep
+
+
+def traffic_main(host: str, port: int, key: str, stimuli) -> None:
+    """Drive the three load phases through one data client.
+
+    The paced phases submit one blocking round trip at a time (p95 stays at
+    a single batch's latency); the overload burst pipelines its whole load
+    through ``submit_many``, which queues far past ``max_batch`` and pushes
+    e2e p95 over the alert bound.
+    """
+    rng = np.random.default_rng(1)
+    with GatewayClient(host, port, timeout=300.0) as client:
+        for n_requests, pause in PHASES:
+            if pause:
+                for _ in range(n_requests):
+                    client.submit(key, stimuli[rng.integers(len(stimuli))])
+                    time.sleep(pause)
+            else:
+                client.submit_many(
+                    (key, stimuli[rng.integers(len(stimuli))])
+                    for _ in range(n_requests))
+
+
+class Dashboard:
+    """Rolling terminal view fed by EVENT frames and stats snapshots."""
+
+    def __init__(self, n_windows: int = 40) -> None:
+        self.windows: collections.deque = collections.deque(maxlen=n_windows)
+        self.alerts: dict = {}          # name -> AlertRaised payload
+        self.alert_log: list = []
+        self.stats: dict = {}
+        self.lock = threading.Lock()
+        self.live = sys.stdout.isatty() and not SMOKE
+
+    # ------------------------------------------------------------- ingestion
+    def on_event(self, payload: dict) -> None:
+        kind = payload.get("event")
+        with self.lock:
+            if kind == "MetricsWindowClosed":
+                self.windows.append(payload)
+            elif kind == "AlertRaised":
+                self.alerts[payload["name"]] = payload
+                self.alert_log.append(payload)
+            elif kind == "AlertCleared":
+                self.alerts.pop(payload["name"], None)
+                self.alert_log.append(payload)
+
+    def on_stats(self, payload: dict) -> None:
+        with self.lock:
+            self.stats = payload
+
+    # ------------------------------------------------------------- rendering
+    def render(self) -> str:
+        with self.lock:
+            windows = list(self.windows)
+            alerts = dict(self.alerts)
+            stats = dict(self.stats)
+        lines = ["== live serving dashboard =="]
+        if stats:
+            lines.append(
+                f"server: up {stats.get('uptime_s', 0.0):6.1f} s | "
+                f"served {stats.get('n_completed', 0)}"
+                f"/{stats.get('n_submitted', 0)} | pending "
+                f"{stats.get('n_pending', 0)} | fill "
+                f"{stats.get('fill_ratio', 0.0) * 100.0:3.0f}%")
+        if windows:
+            rates = [w["throughput_rps"] for w in windows]
+            top = max(max(rates), 1e-9)
+            spark = "".join(
+                SPARK[int(r / top * (len(SPARK) - 1))] for r in rates)
+            latest = windows[-1]
+            e2e = latest["e2e_latency"]
+            lines.append(f"window {latest['window_index']:4d}: "
+                         f"{latest['throughput_rps']:7.0f} rows/s | "
+                         f"e2e p50 {e2e.get('p50_s', 0.0) * 1e3:6.2f} ms "
+                         f"p95 {e2e.get('p95_s', 0.0) * 1e3:6.2f} ms "
+                         f"p99 {e2e.get('p99_s', 0.0) * 1e3:6.2f} ms | "
+                         f"depth {latest['queue_depth']:3d}")
+            lines.append(f"throughput [{spark}] peak {top:.0f} rows/s "
+                         f"over {len(windows)} windows")
+        if alerts:
+            for name, payload in sorted(alerts.items()):
+                lines.append(f"ALERT {name}: {payload['metric']} = "
+                             f"{payload['value']:.4g} (threshold "
+                             f"{payload['threshold']:.4g}) — "
+                             f"{payload.get('detail', '')}")
+        else:
+            lines.append("alerts: none active")
+        return "\n".join(lines)
+
+    def repaint(self) -> None:
+        if self.live:
+            sys.stdout.write("\x1b[2J\x1b[H" + self.render() + "\n")
+            sys.stdout.flush()
+        else:
+            print(self.render().splitlines()[-1])
+
+
+def watcher_main(host: str, port: int, dashboard: Dashboard) -> None:
+    """Dedicated subscriber client: EVENT frames -> dashboard state.
+
+    Unlike the raw-event watcher of ``telemetry_replay.py``, this stream
+    never goes quiet on its own — the aggregator keeps republishing
+    (zeroed) ``MetricsWindowClosed`` windows while the server idles — so
+    the thread ends with the gateway, not with a quiet-stream timeout.
+    """
+    try:
+        with GatewayClient(host, port) as client:
+            for payload in client.subscribe_events(
+                    topics=("MetricsWindowClosed", "AlertRaised",
+                            "AlertCleared"), timeout=5.0):
+                dashboard.on_event(payload)
+    except GatewayError:
+        pass            # gateway shutdown: the demo is over
+
+
+def stats_main(host: str, port: int, dashboard: Dashboard) -> None:
+    """Dedicated stats client: periodic ServeStats -> dashboard header."""
+    try:
+        with GatewayClient(host, port) as client:
+            for payload in client.subscribe_stats(interval_s=0.5, timeout=2.0):
+                dashboard.on_stats(payload)
+                dashboard.repaint()
+    except GatewayError:
+        pass
+
+
+def main():
+    transient = TransientOptions(t_stop=1e-6, dt=1e-8)
+    registry = ModelRegistry(tempfile.mkdtemp(prefix="live-dashboard-"))
+    compiled, sweep = extract_compiled(transient)
+    key = registry.save(compiled, provenance=sweep.provenance())
+    print(f"registered rc_ladder(n_sections=2) as {key[:16]}...")
+
+    rng = np.random.default_rng(0)
+    times = np.arange(N_STEPS) * transient.dt
+    stimuli = [0.5 + amp * np.sin(2.0 * np.pi * freq * times)
+               for amp, freq in zip(rng.uniform(0.05, 0.4, 64),
+                                    rng.uniform(1e5, 8e5, 64))]
+
+    policy = ServePolicy(max_batch=32, max_wait=2e-3, n_lanes=2,
+                         n_workers=2, stats_interval=0.5)
+    rules = (AlertRule.p95_latency(P95_BOUND_S, raise_after=1, clear_after=3),
+             AlertRule.crash_rate(0.0),
+             AlertRule.queue_depth(2000),
+             AlertRule.subscriber_drops(0.0))
+    with ModelServer(registry, policy, delay_injection=DELAY_S) as server:
+        # The consumer tier, attached straight to the server's broker: the
+        # aggregator republishes MetricsWindowClosed, the alert manager
+        # turns those into AlertRaised/AlertCleared — all ordinary topics
+        # any EVENTS_SUBSCRIBE wire client can stream.
+        with MetricsAggregator(server.telemetry, window_s=WINDOW_S,
+                               n_windows=120,
+                               max_batch=policy.max_batch) as aggregator:
+            with AlertManager(rules, server.telemetry) as alert_manager:
+                with Gateway(server) as gateway:
+                    host, port = gateway.address
+                    print(f"gateway listening on {host}:{port}")
+
+                    dashboard = Dashboard()
+                    watcher = threading.Thread(
+                        target=watcher_main, args=(host, port, dashboard))
+                    stats_thread = threading.Thread(
+                        target=stats_main, args=(host, port, dashboard))
+                    watcher.start()
+                    stats_thread.start()
+                    time.sleep(0.3)     # let the subscriptions register
+
+                    traffic_main(host, port, key, stimuli)
+                    # Let the final windows close and alerts settle.
+                    time.sleep(6 * WINDOW_S)
+                # Gateway closed: both wire streams die, ending the threads.
+                watcher.join(timeout=60.0)
+                stats_thread.join(timeout=60.0)
+
+                report = aggregator.report()
+                print()
+                print("aggregator roll-up:")
+                print(report.describe())
+                raised = [p for p in dashboard.alert_log
+                          if p["event"] == "AlertRaised"]
+                cleared = [p for p in dashboard.alert_log
+                           if p["event"] == "AlertCleared"]
+                print(f"alert traffic over the wire: {len(raised)} raised, "
+                      f"{len(cleared)} cleared "
+                      f"({', '.join(sorted({p['name'] for p in raised})) or 'none'})")
+                assert report.n_served > 0
+                assert alert_manager.states()   # rules evaluated windows
+        print(server.stats().describe(per_model=False))
+
+
+if __name__ == "__main__":
+    main()

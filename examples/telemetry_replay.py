@@ -146,7 +146,7 @@ def main():
             assert len(seen_traces) == N_REQUESTS
 
             # 5. Replay the recorded schedule and re-serve it, bitwise.
-            schedule = store.replay(run.run_id)
+            schedule = list(store.replay(run.run_id))
             assert len(schedule) == N_REQUESTS
             span = schedule[-1].t_rel - schedule[0].t_rel
             print(f"replay schedule: {len(schedule)} requests over "

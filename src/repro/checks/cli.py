@@ -2,11 +2,15 @@
 
 Prints one ``path:line: RULE message`` per finding (sorted, grep/editor
 friendly) and exits non-zero when anything fired, so CI can gate on it.
+``--json`` swaps the human format for one machine-readable JSON document
+(findings plus summary) on stdout — same exit-code contract — so CI can
+annotate pull requests without scraping text.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 from typing import Sequence
 
 from .engine import ALL_RULES, _load_rules, iter_python_files, run_paths
@@ -27,18 +31,35 @@ def main(argv: Sequence[str] | None = None) -> int:
                         help="run only the given rule id (repeatable)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list rule ids and what they enforce, then exit")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit one machine-readable JSON document instead "
+                             "of the human path:line format (same exit code)")
     options = parser.parse_args(argv)
 
     if options.list_rules:
-        for rule_id, rule in sorted(_load_rules().items()):
-            doc = (rule.__doc__ or "").strip().splitlines()[0]
-            print(f"{rule_id}  {doc}")
+        rules = {rule_id: (rule.__doc__ or "").strip().splitlines()[0]
+                 for rule_id, rule in sorted(_load_rules().items())}
+        if options.as_json:
+            print(json.dumps({"rules": rules}, indent=2, sort_keys=True))
+        else:
+            for rule_id, doc in rules.items():
+                print(f"{rule_id}  {doc}")
         return 0
 
     findings = run_paths(options.paths, only=options.rules)
+    n_files = len(iter_python_files(options.paths))
+    if options.as_json:
+        print(json.dumps({
+            "findings": [{"path": f.path, "line": f.line, "rule": f.rule,
+                          "message": f.message} for f in findings],
+            "n_findings": len(findings),
+            "n_files": n_files,
+            "n_rules": len(ALL_RULES),
+            "clean": not findings,
+        }, indent=2, sort_keys=True))
+        return 1 if findings else 0
     for finding in findings:
         print(finding.render())
-    n_files = len(iter_python_files(options.paths))
     if findings:
         print(f"\n{len(findings)} finding(s) in {n_files} file(s)")
         return 1

@@ -481,7 +481,8 @@ class ModelServer:
                 n_completed=n_completed, n_failed=n_failed,
                 n_coalescing=n_coalescing,
                 queue_latency=LatencySummary.of(queue_window),
-                e2e_latency=LatencySummary.of(e2e_window))
+                e2e_latency=LatencySummary.of(e2e_window),
+                max_batch=self.policy.max_batch)
             for (key, lane, n_batches, n_rows, n_completed, n_failed,
                  n_coalescing, queue_window, e2e_window) in model_rows}
         return ServeStats(
@@ -496,4 +497,5 @@ class ModelServer:
             n_lanes=n_lanes,
             t_snapshot=t_snapshot,
             uptime_s=t_snapshot - self._t_started,
+            max_batch=self.policy.max_batch,
         )

@@ -46,6 +46,7 @@ class LatencySummary:
     min: float
     p50: float
     p90: float
+    p95: float
     p99: float
     max: float
 
@@ -55,12 +56,12 @@ class LatencySummary:
         if values.size:
             values = values[np.isfinite(values)]
         if values.size == 0:
-            return cls(count=0, mean=0.0, min=0.0, p50=0.0, p90=0.0, p99=0.0,
-                       max=0.0)
-        p50, p90, p99 = np.percentile(values, [50.0, 90.0, 99.0])
+            return cls(count=0, mean=0.0, min=0.0, p50=0.0, p90=0.0, p95=0.0,
+                       p99=0.0, max=0.0)
+        p50, p90, p95, p99 = np.percentile(values, [50.0, 90.0, 95.0, 99.0])
         return cls(count=int(values.size), mean=float(values.mean()),
                    min=float(values.min()), p50=float(p50), p90=float(p90),
-                   p99=float(p99), max=float(values.max()))
+                   p95=float(p95), p99=float(p99), max=float(values.max()))
 
     def percentile(self, q: float) -> float:
         """Interpolate an arbitrary percentile from the stored summary knots.
@@ -72,14 +73,40 @@ class LatencySummary:
         """
         if self.count == 0:
             return 0.0
-        knots_q = [0.0, 50.0, 90.0, 99.0, 100.0]
-        knots_v = [self.min, self.p50, self.p90, self.p99, self.max]
+        knots_q = [0.0, 50.0, 90.0, 95.0, 99.0, 100.0]
+        knots_v = [self.min, self.p50, self.p90, self.p95, self.p99, self.max]
         return float(np.interp(float(q), knots_q, knots_v))
+
+    @classmethod
+    def merge(cls, summaries) -> "LatencySummary":
+        """Fold several window summaries into one rolling summary.
+
+        The windowed-percentile primitive of the metrics aggregator: each
+        fixed-duration window keeps only its own :class:`LatencySummary`,
+        and a rolling view over N windows merges them without re-touching
+        the raw samples.  ``count``/``mean``/``min``/``max`` merge exactly;
+        the percentile knots merge as count-weighted means, which is the
+        standard streaming approximation (exact when the windows are
+        identically distributed, and never outside [min, max]).  Empty
+        summaries contribute nothing; merging none (or only empties) is the
+        zeroed summary, keeping the empty-window-safe contract.
+        """
+        live = [s for s in summaries if s.count]
+        if not live:
+            return cls.of(())
+        total = sum(s.count for s in live)
+        weighted = lambda field: sum(
+            getattr(s, field) * s.count for s in live) / total
+        return cls(count=total, mean=weighted("mean"),
+                   min=min(s.min for s in live),
+                   p50=weighted("p50"), p90=weighted("p90"),
+                   p95=weighted("p95"), p99=weighted("p99"),
+                   max=max(s.max for s in live))
 
     def as_dict(self) -> dict:
         return {"count": self.count, "mean_s": self.mean, "min_s": self.min,
-                "p50_s": self.p50, "p90_s": self.p90, "p99_s": self.p99,
-                "max_s": self.max}
+                "p50_s": self.p50, "p90_s": self.p90, "p95_s": self.p95,
+                "p99_s": self.p99, "max_s": self.max}
 
 
 @dataclass(frozen=True)
@@ -95,10 +122,26 @@ class ModelLaneStats:
     n_coalescing: int
     queue_latency: LatencySummary
     e2e_latency: LatencySummary
+    #: ``ServePolicy.max_batch`` at snapshot time — the denominator of the
+    #: batch-fill ratio (0 when unknown, e.g. hand-built test values).
+    max_batch: int = 0
 
     @property
     def mean_batch_size(self) -> float:
         return (self.n_rows / self.n_batches) if self.n_batches else 0.0
+
+    @property
+    def fill_ratio(self) -> float:
+        """Mean batch occupancy vs ``max_batch`` (0.0 when unknown).
+
+        The metric that tells whether a model's traffic saturates its
+        batches (ratio near 1: throughput-bound, raise ``max_batch``) or
+        mostly flushes on the deadline (low ratio: latency-bound, the
+        ``max_wait`` knob is doing the closing).
+        """
+        if not self.max_batch or not self.n_batches:
+            return 0.0
+        return self.mean_batch_size / self.max_batch
 
     def as_dict(self) -> dict:
         return {
@@ -110,6 +153,8 @@ class ModelLaneStats:
             "n_failed": self.n_failed,
             "n_coalescing": self.n_coalescing,
             "mean_batch_size": self.mean_batch_size,
+            "max_batch": self.max_batch,
+            "fill_ratio": self.fill_ratio,
             "queue_latency": self.queue_latency.as_dict(),
             "e2e_latency": self.e2e_latency.as_dict(),
         }
@@ -118,7 +163,8 @@ class ModelLaneStats:
         return (f"model {self.key[:12]}... [lane {self.lane}]: "
                 f"{self.n_completed} served / {self.n_failed} failed in "
                 f"{self.n_batches} batch(es) of {self.mean_batch_size:.1f} "
-                f"rows avg; queue p50 {self.queue_latency.p50 * 1e3:.2f} ms, "
+                f"rows avg (fill {self.fill_ratio * 100.0:.0f}%); "
+                f"queue p50 {self.queue_latency.p50 * 1e3:.2f} ms, "
                 f"e2e p50 {self.e2e_latency.p50 * 1e3:.2f} ms")
 
 
@@ -147,6 +193,15 @@ class ServeStats:
     t_snapshot: float = 0.0
     #: Seconds the server had been up when the snapshot was taken.
     uptime_s: float = 0.0
+    #: ``ServePolicy.max_batch`` of the serving policy (0 when unknown).
+    max_batch: int = 0
+
+    @property
+    def fill_ratio(self) -> float:
+        """Server-wide mean batch occupancy vs ``max_batch`` (0 if unknown)."""
+        if not self.max_batch or not self.n_batches:
+            return 0.0
+        return self.mean_batch_size / self.max_batch
 
     def as_dict(self) -> dict:
         return {
@@ -158,6 +213,8 @@ class ServeStats:
             "n_pending": self.n_pending,
             "n_batches": self.n_batches,
             "mean_batch_size": self.mean_batch_size,
+            "max_batch": self.max_batch,
+            "fill_ratio": self.fill_ratio,
             "n_lanes": self.n_lanes,
             "queue_latency": self.queue_latency.as_dict(),
             "e2e_latency": self.e2e_latency.as_dict(),
@@ -173,7 +230,8 @@ class ServeStats:
             f"served {self.n_completed}/{self.n_submitted} request(s) "
             f"({self.n_failed} failed, {self.n_pending} pending) in "
             f"{self.n_batches} batch(es) of {self.mean_batch_size:.1f} "
-            f"rows avg across {self.n_lanes} lane(s); queue p50 "
+            f"rows avg (fill {self.fill_ratio * 100.0:.0f}%) across "
+            f"{self.n_lanes} lane(s); queue p50 "
             f"{self.queue_latency.p50 * 1e3:.2f} ms, e2e p50 "
             f"{self.e2e_latency.p50 * 1e3:.2f} ms"]
         if per_model:

@@ -11,14 +11,18 @@ Three pieces compose the observability layer added in PR 7:
   recorded request schedule for regression replay.
 """
 
+from .alerts import AlertManager, AlertRule, AlertState
 from .broker import Subscription, TopicBroker
-from .events import (SCHEMA_VERSION, BatchClosed, BatchServed, CacheEvicted,
-                     ChunkStreamError, ConnectionClosed, ConnectionOpened,
-                     JobTimedOut, ProtocolError, RequestRejected,
+from .events import (SCHEMA_VERSION, AlertCleared, AlertRaised, BatchClosed,
+                     BatchServed, CacheEvicted, ChunkStreamError,
+                     ConnectionClosed, ConnectionOpened, JobTimedOut,
+                     MetricsWindowClosed, ProtocolError, RequestRejected,
                      RequestSubmitted, ScenarioCompleted, SweepCompleted,
                      SweepStarted, TelemetryEvent, WorkerCrashed,
                      WorkerRespawned, event_from_dict, event_topics,
                      register_event)
+from .metrics import (MetricsAggregator, MetricsReport, ModelWindowMetrics,
+                      WindowMetrics)
 from .recorder import RunRecorder
 from .runstore import ReplayRequest, RunRecord, RunStore
 
@@ -45,6 +49,16 @@ __all__ = [
     "SweepStarted",
     "ScenarioCompleted",
     "SweepCompleted",
+    "MetricsWindowClosed",
+    "AlertRaised",
+    "AlertCleared",
+    "MetricsAggregator",
+    "MetricsReport",
+    "ModelWindowMetrics",
+    "WindowMetrics",
+    "AlertManager",
+    "AlertRule",
+    "AlertState",
     "RunStore",
     "RunRecord",
     "RunRecorder",

@@ -51,6 +51,10 @@ __all__ = [
     "SweepStarted",
     "ScenarioCompleted",
     "SweepCompleted",
+    # metrics / alerting events (the consumer tier)
+    "MetricsWindowClosed",
+    "AlertRaised",
+    "AlertCleared",
 ]
 
 #: Version of the event payload layout; bumped when a field changes meaning
@@ -289,4 +293,74 @@ class SweepCompleted(TelemetryEvent):
     n_ok: int
     n_failed: int
     wall_time_s: float
+    t: float = field(default_factory=_now)
+
+
+# --------------------------------------------------------- metrics / alerting
+@register_event
+@dataclass(frozen=True)
+class MetricsWindowClosed(TelemetryEvent):
+    """A :class:`~repro.telemetry.metrics.MetricsAggregator` window closed.
+
+    Republished through the same broker the raw events came from, so any
+    subscriber (in-process or over the gateway's ``EVENTS_SUBSCRIBE`` wire)
+    receives pre-aggregated operational metrics without re-deriving them
+    from the raw stream.  ``queue_latency`` / ``e2e_latency`` are
+    :meth:`LatencySummary.as_dict <repro.serve.stats.LatencySummary.as_dict>`
+    payloads; ``per_model`` maps model key → that model's window slice
+    (rows, batches, throughput, fill ratio, latency summaries).
+    """
+
+    window_index: int
+    t_start: float
+    t_end: float
+    n_submitted: int = 0
+    n_served: int = 0
+    n_failed: int = 0
+    n_batches: int = 0
+    throughput_rps: float = 0.0
+    fill_ratio: float = 0.0
+    queue_latency: dict = field(default_factory=dict)
+    e2e_latency: dict = field(default_factory=dict)
+    per_model: dict = field(default_factory=dict)
+    n_rejected: int = 0
+    n_crashes: int = 0
+    n_respawns: int = 0
+    n_timeouts: int = 0
+    n_evictions: int = 0
+    n_subscriber_dropped: int = 0
+    n_late: int = 0
+    n_unmatched: int = 0
+    queue_depth: int = 0
+    n_events: int = 0
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class AlertRaised(TelemetryEvent):
+    """An :class:`~repro.telemetry.alerts.AlertRule` breached its threshold
+    for ``raise_after`` consecutive closed windows."""
+
+    name: str
+    metric: str
+    value: float
+    threshold: float
+    window_index: int
+    detail: str = ""
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class AlertCleared(TelemetryEvent):
+    """A raised alert recovered: its rule stayed within bounds for
+    ``clear_after`` consecutive closed windows (hysteresis)."""
+
+    name: str
+    metric: str
+    value: float
+    threshold: float
+    window_index: int
+    detail: str = ""
     t: float = field(default_factory=_now)

@@ -245,17 +245,39 @@ class RunStore:
             self._db.commit()
 
     # ----------------------------------------------------------------- reads
+    def iter_events(self, run_id: int, kind: str | None = None,
+                    chunk: int = 1024):
+        """Journaled event payloads of a run in record order, **streamed**.
+
+        Rows are paged out of sqlite ``chunk`` at a time by keyset
+        pagination on ``event_id`` (the store's lock is held only while a
+        page is fetched, never across a ``yield``), so iterating a
+        multi-million-event run costs one page of memory, and a recorder
+        appending concurrently never starves readers.
+        """
+        chunk = max(1, int(chunk))
+        last_id = 0
+        while True:
+            sql = ("SELECT event_id, payload FROM events "
+                   "WHERE run_id = ? AND event_id > ?")
+            params: tuple = (run_id, last_id)
+            if kind is not None:
+                sql += " AND kind = ?"
+                params += (kind,)
+            sql += " ORDER BY event_id LIMIT ?"
+            params += (chunk,)
+            with self._lock:
+                rows = self._execute(sql, params).fetchall()
+            if not rows:
+                return
+            last_id = int(rows[-1][0])
+            for _, payload in rows:
+                yield json.loads(payload)
+
     def events(self, run_id: int, kind: str | None = None) -> list[dict]:
-        """Journaled event payloads of a run in record order."""
-        sql = "SELECT payload FROM events WHERE run_id = ?"
-        params: tuple = (run_id,)
-        if kind is not None:
-            sql += " AND kind = ?"
-            params += (kind,)
-        sql += " ORDER BY event_id"
-        with self._lock:
-            rows = self._execute(sql, params).fetchall()
-        return [json.loads(r[0]) for r in rows]
+        """Journaled event payloads of a run in record order (materialised
+        convenience over :meth:`iter_events`)."""
+        return list(self.iter_events(run_id, kind=kind))
 
     def snapshots(self, run_id: int) -> list[dict]:
         """Journaled stats snapshots of a run in record order."""
@@ -265,20 +287,31 @@ class RunStore:
                 "ORDER BY snapshot_id", (run_id,)).fetchall()
         return [json.loads(r[0]) for r in rows]
 
-    def replay(self, run_id: int) -> list[ReplayRequest]:
+    def replay(self, run_id: int, chunk: int = 1024):
         """The run's recorded request schedule, in submission order.
 
         Derived from the journaled ``RequestSubmitted`` events: each entry
         carries the model key, the request's step count and its submit time
         relative to the run opening — everything a driver needs to re-serve
         the same traffic against a live server.
+
+        Returns a **lazy iterator** backed by :meth:`iter_events` keyset
+        pagination — a journaled session streams out of sqlite one page at
+        a time instead of materialising every row before the first entry is
+        yielded.  The run id is validated eagerly (unknown ids raise
+        :class:`~repro.exceptions.RunStoreError` here, not at first
+        ``next``); callers that need the whole schedule at once wrap it in
+        ``list``.
         """
         run = self.get_run(run_id)
-        schedule = []
-        for payload in self.events(run_id, kind="RequestSubmitted"):
-            schedule.append(ReplayRequest(
-                t_rel=max(0.0, float(payload["t"]) - run.t_opened),
-                key=str(payload["key"]),
-                n_steps=int(payload["n_steps"]),
-                trace_id=int(payload.get("trace_id", 0))))
-        return schedule
+
+        def _schedule():
+            for payload in self.iter_events(run_id, kind="RequestSubmitted",
+                                            chunk=chunk):
+                yield ReplayRequest(
+                    t_rel=max(0.0, float(payload["t"]) - run.t_opened),
+                    key=str(payload["key"]),
+                    n_steps=int(payload["n_steps"]),
+                    trace_id=int(payload.get("trace_id", 0)))
+
+        return _schedule()

@@ -5,6 +5,7 @@ with the right rule id, and a known-good fixture that must stay clean —
 the checker's false-positive rate is as much a contract as its recall.
 """
 
+import json
 import textwrap
 import threading
 from pathlib import Path
@@ -357,6 +358,34 @@ def test_cli_list_rules(capsys):
     for rule_id in ("REP101", "REP102", "REP103", "REP104", "REP105",
                     "REP106"):
         assert rule_id in out
+
+
+def test_cli_json_mode(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    assert checks_main(["--json", str(bad)]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["clean"] is False
+    assert report["n_findings"] == len(report["findings"]) == 1
+    assert report["n_files"] == 1
+    (finding,) = report["findings"]
+    assert finding["path"] == str(bad)
+    assert finding["line"] == 4
+    assert finding["rule"] == "REP103"
+    assert "time.time" in finding["message"]
+
+    good = tmp_path / "good.py"
+    good.write_text("x = 1\n")
+    assert checks_main(["--json", str(good)]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["clean"] is True
+    assert report["findings"] == []
+
+    assert checks_main(["--json", "--list-rules"]) == 0
+    rules = json.loads(capsys.readouterr().out)["rules"]
+    assert set(rules) >= {"REP101", "REP102", "REP103", "REP104", "REP105",
+                          "REP106"}
+    assert all(doc for doc in rules.values())
 
 
 # --------------------------------------------------------------- lockwatch

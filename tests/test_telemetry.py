@@ -286,7 +286,7 @@ class TestRunStore:
                 event = RequestSubmitted(key="ab", n_steps=32,
                                          trace_id=index + 1)
                 store.record_event(run_id, event)
-            schedule = store.replay(run_id)
+            schedule = list(store.replay(run_id))
         assert [r.trace_id for r in schedule] == [1, 2, 3, 4, 5]
         assert all(r.key == "ab" and r.n_steps == 32 for r in schedule)
         t_rels = [r.t_rel for r in schedule]
@@ -524,7 +524,7 @@ class TestRecordReplay:
 
         run = store.runs()[-1]
         assert run.closed
-        schedule = store.replay(run.run_id)
+        schedule = list(store.replay(run.run_id))
         assert len(schedule) == len(batch)
         assert [r.t_rel for r in schedule] == sorted(r.t_rel for r in schedule)
         assert len(store.snapshots(run.run_id)) >= 1
