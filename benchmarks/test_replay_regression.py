@@ -12,7 +12,10 @@ The gate is **drift**, not absolute numbers: passes alternate between a
 baseline and a candidate label on one shared server (exactly the
 interleaved-trial methodology of ``test_telemetry_overhead.py``), and the
 two sides' aggregated e2e p95 latency and served throughput must agree
-within generous bounds.  On an unchanged tree both sides run identical
+within generous bounds.  The server runs with full span tracing
+(``sample_rate=1.0``) so every pass also records its per-stage p95
+attribution — where a latency regression *lands* (queue, coalesce,
+execute, ...) is preserved alongside how big it is.  On an unchanged tree both sides run identical
 code, so the gate measures the harness's own noise floor; a regression in
 the serving or telemetry hot paths widens every pass alike and shows up in
 the absolute numbers recorded into ``BENCH_metrics.json``, which CI uploads
@@ -37,7 +40,7 @@ import numpy as np
 
 from repro.runtime import ModelRegistry, compile_model
 from repro.serve import ModelServer
-from repro.telemetry import MetricsAggregator, RunStore
+from repro.telemetry import MetricsAggregator, RunStore, TracerConfig
 
 from .artifacts import record_benchmark
 from .test_telemetry_overhead import (FUTURE_TIMEOUT, N_WARMUP, POLICY,
@@ -117,7 +120,8 @@ class TestReplayRegression:
         run_id = _journal_session(store, fixture, key)
 
         passes = []
-        with ModelServer(registry, POLICY) as server:
+        with ModelServer(registry, POLICY,
+                         tracing=TracerConfig(sample_rate=1.0)) as server:
             warm = [server.submit(key, row) for row in stimuli[:N_WARMUP]]
             for future in warm:
                 future.result(FUTURE_TIMEOUT)
@@ -130,6 +134,9 @@ class TestReplayRegression:
                 assert report.n_failed == 0
                 assert report.n_unmatched == 0
                 assert report.n_subscriber_dropped == 0
+                assert report.stages, (
+                    "full-rate tracing produced no stage attribution — "
+                    "SpanClosed events are not reaching the aggregator")
                 passes.append({
                     "wall_s": wall_s,
                     "throughput_rps": n_requests / wall_s,
@@ -139,6 +146,8 @@ class TestReplayRegression:
                     "queue_p95_s": report.queue_latency.p95,
                     "fill_ratio": report.fill_ratio,
                     "n_windows": report.n_windows,
+                    "stages_p95_s": {name: summary.p95 for name, summary
+                                     in sorted(report.stages.items())},
                 })
         store.close()
 
@@ -155,6 +164,19 @@ class TestReplayRegression:
         rps_drift = max(candidate_rps / baseline_rps,
                         baseline_rps / candidate_rps)
 
+        def stage_p95(side):
+            """Per-stage p95 attribution averaged over one side's passes."""
+            samples: dict = {}
+            for entry in passes[side::2]:
+                for name, p95 in entry["stages_p95_s"].items():
+                    samples.setdefault(name, []).append(p95)
+            return {name: sum(values) / len(values)
+                    for name, values in sorted(samples.items())}
+
+        baseline_stages = stage_p95(0)
+        candidate_stages = stage_p95(1)
+        hottest = max(baseline_stages, key=baseline_stages.get)
+
         with capsys.disabled():
             print(f"\n[replay-regression] canonical session "
                   f"({n_requests} requests over {fixture['duration_s']:.2f} s "
@@ -163,7 +185,10 @@ class TestReplayRegression:
                   f"{candidate_p95 * 1e3:.2f} ms (drift {p95_drift:.3f}x), "
                   f"throughput {baseline_rps:.0f} vs {candidate_rps:.0f} "
                   f"rows/s (drift {rps_drift:.3f}x), fill "
-                  f"{passes[-1]['fill_ratio'] * 100.0:.0f}%")
+                  f"{passes[-1]['fill_ratio'] * 100.0:.0f}%; hottest stage "
+                  f"{hottest} at p95 {baseline_stages[hottest] * 1e3:.2f} ms "
+                  f"baseline / {candidate_stages.get(hottest, 0.0) * 1e3:.2f}"
+                  f" ms candidate")
 
         record_benchmark("BENCH_metrics.json", "replay_regression", {
             "fixture": FIXTURE.name,
@@ -185,6 +210,9 @@ class TestReplayRegression:
             "candidate_throughput_rps": candidate_rps,
             "throughput_drift_x": rps_drift,
             "throughput_drift_gate_x": THROUGHPUT_DRIFT_GATE,
+            "baseline_stage_p95_s": baseline_stages,
+            "candidate_stage_p95_s": candidate_stages,
+            "hottest_stage": hottest,
             "replay_bitwise_identical": True,
         })
 

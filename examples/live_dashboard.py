@@ -19,7 +19,10 @@ rules (with hysteresis) over those windows and republishes ``AlertRaised``
    ``MetricsWindowClosed`` / ``AlertRaised`` / ``AlertCleared`` EVENT
    frames plus periodic ``subscribe_stats`` snapshots, rendering a rolling
    stdlib-only terminal view: throughput sparkline, latency percentiles,
-   batch fill, queue depth, and the active-alert panel.
+   batch fill, queue depth, the active-alert panel — and, from the window's
+   ``stages`` section (fed by the span tracer's per-stage attribution), a
+   latency-breakdown panel that shows **which stage** saturates during the
+   overload burst (the injected worker stall makes it ``worker_evaluate``).
 
 Run with:  python examples/live_dashboard.py
 (set REPRO_EXAMPLES_SMOKE=1 for a reduced-workload smoke run)
@@ -153,6 +156,23 @@ class Dashboard:
                          f"depth {latest['queue_depth']:3d}")
             lines.append(f"throughput [{spark}] peak {top:.0f} rows/s "
                          f"over {len(windows)} windows")
+            stages = {name: summary
+                      for name, summary in (latest.get("stages") or {}).items()
+                      if name != "request"}   # the root IS the e2e row above
+            if stages:
+                # Per-stage latency breakdown from the span tracer: sorted
+                # by p95 so the saturating stage tops the panel.
+                ranked = sorted(stages.items(),
+                                key=lambda kv: kv[1].get("p95_s", 0.0),
+                                reverse=True)
+                top_p95 = max(ranked[0][1].get("p95_s", 0.0), 1e-9)
+                lines.append("stage p95 (latest window):")
+                for name, summary in ranked[:6]:
+                    p95 = summary.get("p95_s", 0.0)
+                    bar = "#" * max(1, int(round(p95 / top_p95 * 24)))
+                    lines.append(
+                        f"  {name:<16} {p95 * 1e3:8.2f} ms "
+                        f"x{summary.get('count', 0):<5d} |{bar:<24}|")
         if alerts:
             for name, payload in sorted(alerts.items()):
                 lines.append(f"ALERT {name}: {payload['metric']} = "
@@ -259,7 +279,20 @@ def main():
                 print(f"alert traffic over the wire: {len(raised)} raised, "
                       f"{len(cleared)} cleared "
                       f"({', '.join(sorted({p['name'] for p in raised})) or 'none'})")
+                breakdown = {name: summary
+                             for name, summary in report.stages.items()
+                             if name != "request"}
+                if breakdown:
+                    hottest, summary = max(breakdown.items(),
+                                           key=lambda kv: kv[1].p95)
+                    print(f"stage attribution: {hottest} dominates at p95 "
+                          f"{summary.p95 * 1e3:.2f} ms over {summary.count} "
+                          f"span(s) — the injected worker stall "
+                          f"(DELAY_S={DELAY_S * 1e3:.0f} ms) backs traffic "
+                          "up behind the stalled workers, and the span "
+                          "waterfall names the stage it lands on")
                 assert report.n_served > 0
+                assert report.stages            # span tracer fed the windows
                 assert alert_manager.states()   # rules evaluated windows
         print(server.stats().describe(per_model=False))
 

@@ -21,7 +21,7 @@ __all__ = ["main"]
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.checks",
-        description="Static concurrency-invariant checker (rules REP101-REP106). "
+        description="Static concurrency-invariant checker (rules REP101-REP107). "
                     "Suppress a deliberate site with "
                     "'# repro: allow[REP10x] <reason>'.")
     parser.add_argument("paths", nargs="*", default=["src/repro"],

@@ -1,4 +1,4 @@
-"""REP101–REP104 and REP106: AST visitors over one module at a time.
+"""REP101–REP104, REP106 and REP107: AST visitors over one module at a time.
 
 Each rule is a function ``(path, tree, lines) -> [(line, message), ...]``;
 the engine applies pragma suppression afterwards, so rules always report
@@ -18,6 +18,10 @@ what they see.  The rules encode invariants this repo actually bled for
   visibly attribute the failure, never silently swallow it.
 * REP106 — locks, brokers and sqlite handles are process-local; shipping
   one to a shard worker pickles a token that is dead on arrival.
+* REP107 — ``tracer.span(...)`` not used as a context manager never closes
+  (the span is silently lost); span traffic (``span``/``emit``) lexically
+  under ``with <lock>:`` publishes telemetry while holding the lock — the
+  same hand-control-to-foreign-code hazard REP102 guards for ``publish``.
 """
 
 from __future__ import annotations
@@ -267,7 +271,9 @@ _HANDLE_CONSTRUCTORS = {"threading.Lock", "threading.RLock",
                         "sqlite3.connect"}
 _HANDLE_TERMINALS = {"TopicBroker", "monitored_lock", "monitored_condition"}
 #: Attribute names that hold process-local handles across this codebase.
-_RISKY_ATTRS = {"broker", "telemetry", "_lock", "_cond", "_lease", "_conn"}
+#: ``tracer`` wraps the broker, so shipping it is shipping the broker.
+_RISKY_ATTRS = {"broker", "telemetry", "tracer", "_lock", "_cond", "_lease",
+                "_conn"}
 _SHIP_METHODS = {"send", "apply_async", "starmap", "submit_to_worker"}
 
 
@@ -333,10 +339,81 @@ def rep106_no_handles_to_workers(path: str, tree: ast.Module,
     return findings
 
 
+# --------------------------------------------------------------------- REP107
+
+_TRACERISH = re.compile(r"tracer")
+
+
+def _is_tracerish(node: ast.AST) -> bool:
+    """Does a receiver expression look like it holds a span tracer?"""
+    term = _terminal(node).lstrip("_").lower()
+    return bool(term) and _TRACERISH.search(term) is not None
+
+
+def rep107_span_discipline(path: str, tree: ast.Module,
+                           lines: Sequence[str]):
+    """``tracer.span()`` only as a ``with`` context; no span traffic under a lock.
+
+    Two hazards, one rule:
+
+    * an orphan ``tracer.span(...)`` (not the context expression of a
+      ``with``) never runs ``__exit__`` — the span silently never closes
+      and the trace tree loses a stage with no error anywhere;
+    * ``tracer.span(...)`` / ``tracer.emit(...)`` lexically inside a
+      ``with <lock>:`` block publishes a ``SpanClosed`` event while the
+      lock is held — the same foreign-code re-entrancy hazard REP102
+      flags for bare ``publish()``.
+    """
+    findings: list[tuple[int, str]] = []
+    with_items = {id(item.context_expr)
+                  for node in ast.walk(tree)
+                  if isinstance(node, (ast.With, ast.AsyncWith))
+                  for item in node.items}
+    lock_depth = 0
+
+    def visit(node: ast.AST) -> None:
+        nonlocal lock_depth
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # A nested def runs later, not while the lock is held.
+            saved, lock_depth = lock_depth, 0
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+            lock_depth = saved
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            lockish = any(_is_lockish(item.context_expr) for item in node.items)
+            lock_depth += lockish
+            for child in node.body:
+                visit(child)
+            lock_depth -= lockish
+            for item in node.items:
+                visit(item)
+            return
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)
+                and _is_tracerish(node.func.value)):
+            attr = node.func.attr
+            if attr == "span" and id(node) not in with_items:
+                findings.append((node.lineno,
+                                 "tracer.span() must be the context "
+                                 "expression of a with statement; an orphan "
+                                 "span never closes and is silently lost"))
+            if attr in ("span", "emit") and lock_depth > 0:
+                findings.append((node.lineno,
+                                 f"tracer.{attr}() inside a with-lock block "
+                                 "publishes span telemetry while holding the "
+                                 "lock (deadlock / lock-order hazard)"))
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(tree)
+    return findings
+
+
 RULES = {
     "REP101": rep101_no_blocking_in_async,
     "REP102": rep102_no_publish_under_lock,
     "REP103": rep103_monotonic_deadlines,
     "REP104": rep104_exception_hygiene,
     "REP106": rep106_no_handles_to_workers,
+    "REP107": rep107_span_discipline,
 }

@@ -58,8 +58,9 @@ class FactorizationCache:
 
     Attributes
     ----------
-    factorizations / reuses / solves:
-        Counters for benchmarking and tests.
+    factorizations / reuses / solves / invalidations:
+        Counters for benchmarking, tests and the engine profile
+        (:class:`~repro.telemetry.events.EngineProfile`).
     reused_last:
         Whether the most recent :meth:`solve` used stale (cached) factors.
     """
@@ -76,6 +77,7 @@ class FactorizationCache:
         self.factorizations = 0
         self.reuses = 0
         self.solves = 0
+        self.invalidations = 0
         self.reused_last = False
         self._force_refactor = False
         self._sparse: bool | None = None
@@ -84,7 +86,8 @@ class FactorizationCache:
 
     # ----------------------------------------------------------------- control
     def invalidate(self) -> None:
-        """Force a refactorisation on the next :meth:`solve`."""
+        """Force a refactorisation on the next :meth:`solve` (counted)."""
+        self.invalidations += 1
         self._force_refactor = True
 
     def clear(self) -> None:

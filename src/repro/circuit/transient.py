@@ -140,10 +140,24 @@ class TransientResult:
     #: Steps rejected by the LTE controller (subset of ``rejected_steps``;
     #: the rest are Newton convergence failures).
     lte_rejections: int = 0
+    #: :class:`~repro.circuit.linalg.FactorizationCache` counters captured at
+    #: the end of the run (all zero under the legacy assembly, which solves
+    #: without a cache) — the raw material of the
+    #: :class:`~repro.telemetry.events.EngineProfile` event.
+    cache_factorizations: int = 0
+    cache_reuses: int = 0
+    cache_invalidations: int = 0
+    cache_solves: int = 0
 
     @property
     def n_points(self) -> int:
         return int(self.times.size)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of linear solves answered from cached LU factors."""
+        return (self.cache_reuses / self.cache_solves
+                if self.cache_solves else 0.0)
 
     @property
     def accepted_steps(self) -> int:
@@ -490,4 +504,8 @@ def transient_analysis(system: MNASystem, options: TransientOptions,
         wall_time=_time.perf_counter() - wall_start,
         method=options.method,
         lte_rejections=lte_rejected,
+        cache_factorizations=cache.factorizations if cache else 0,
+        cache_reuses=cache.reuses if cache else 0,
+        cache_invalidations=cache.invalidations if cache else 0,
+        cache_solves=cache.solves if cache else 0,
     )

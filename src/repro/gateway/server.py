@@ -37,13 +37,16 @@ frees a slot (its broker subscription keeps absorbing events, dropping
 oldest when full), so a slow telemetry consumer throttles only its own
 stream.  The gateway itself publishes ``ConnectionOpened`` /
 ``ConnectionClosed``, ``ProtocolError`` and ``ChunkStreamError`` events to
-the same broker.
+the same broker, and — when the server's span tracer is live — contributes
+``gateway_decode`` / ``gateway_encode`` / ``gateway_write`` spans to each
+sampled request's trace (the trace id rides the request future).
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+import time
 
 from ..exceptions import GatewayError, ServeError, ServerClosedError
 from ..serve.server import ModelServer
@@ -350,6 +353,7 @@ class Gateway:
             except (asyncio.IncompleteReadError, ConnectionError, OSError):
                 return                      # truncated mid-frame: client died
             counters.n_frames_in += 1
+            t_decode = time.monotonic()
             try:
                 message = protocol.decode_payload(payload)
             except protocol.FrameError as err:
@@ -390,7 +394,8 @@ class Gateway:
                 if not await self._frame_error(conn, err):
                     return
                 continue
-            await self._submit(conn, message)
+            await self._submit(conn, message, t_decode,
+                               time.monotonic() - t_decode)
 
     async def _frame_error(self, conn: _Connection,
                            err: protocol.FrameError,
@@ -412,8 +417,8 @@ class Gateway:
             conn, protocol.encode_error(err.request_id, code, str(err)))
         return err.request_id != 0
 
-    async def _submit(self, conn: _Connection,
-                      message: protocol.Request) -> None:
+    async def _submit(self, conn: _Connection, message: protocol.Request,
+                      t_decode: float, decode_s: float) -> None:
         counters = self.counters
         try:
             future = self._server.submit(message.key, message.samples)
@@ -425,6 +430,14 @@ class Gateway:
             await self._enqueue(conn, protocol.encode_error(
                 message.request_id, code, str(exc)))
             return
+        # The trace id exists only once the server admitted the request, so
+        # the decode span is materialised retroactively from its timestamps.
+        tracer = self._server.tracer
+        if tracer:
+            trace_id = getattr(future, "trace_id", 0)
+            if trace_id and tracer.sampled(trace_id):
+                tracer.emit("gateway_decode", trace_id, t_decode, decode_s,
+                            sampled=True)
         counters.n_requests += 1
         conn.n_requests += 1
         conn.inflight += 1
@@ -455,6 +468,13 @@ class Gateway:
         if not conn.alive:
             # The read loop is gone; its in-flight accounting with it.
             return
+        # One sampling decision covers the encode span here and the write
+        # span downstream: an unsampled reply rides the queue with trace
+        # id 0, so the write loop's guard is a single integer test.
+        tracer = self._server.tracer
+        trace_id = getattr(future, "trace_id", 0) if tracer else 0
+        if trace_id and not tracer.sampled(trace_id):
+            trace_id = 0
         if future.cancelled():
             frames = [protocol.encode_error(
                 request_id, protocol.E_INTERNAL, "request cancelled")]
@@ -471,14 +491,19 @@ class Gateway:
                 # one frame streams back as a RESULT_CHUNK series.  All its
                 # frames are queued as one item so the reply is written
                 # contiguously and releases exactly one in-flight slot.
+                t_encode = time.monotonic()
                 frames = protocol.encode_result_frames(
                     request_id, future.result(), dtype=dtype,
                     max_frame_bytes=self.policy.max_frame_bytes)
+                if trace_id:
+                    tracer.emit("gateway_encode", trace_id, t_encode,
+                                time.monotonic() - t_encode, sampled=True)
         # The in-flight slot is released by the writer once this frame is
         # actually on the wire (see _write_loop) — releasing it here would
         # let a slow-draining client re-fill the queue beyond its cap while
         # earlier replies still wait on its stalled socket.
-        conn.outgoing.put_nowait((b"".join(frames), True, len(frames)))
+        conn.outgoing.put_nowait(
+            (b"".join(frames), True, len(frames), trace_id))
 
     async def _enqueue(self, conn: _Connection, frame: bytes) -> None:
         """Queue a protocol-error frame, bounded by its own slot budget.
@@ -491,7 +516,7 @@ class Gateway:
         if not conn.alive:                 # writer died while we waited
             conn.error_slots.release()
             return
-        conn.outgoing.put_nowait((frame, False, 1))
+        conn.outgoing.put_nowait((frame, False, 1, 0))
 
     def _release_slot(self, conn: _Connection) -> None:
         conn.inflight -= 1
@@ -518,7 +543,7 @@ class Gateway:
                 payload["gateway"] = self.stats()
                 conn.inflight += 1
                 conn.outgoing.put_nowait(
-                    (protocol.encode_stats(request_id, payload), True, 1))
+                    (protocol.encode_stats(request_id, payload), True, 1, 0))
             await asyncio.sleep(interval)
 
     def _start_events_pump(self, conn: _Connection,
@@ -547,7 +572,7 @@ class Gateway:
                         break
                     conn.inflight += 1
                     conn.outgoing.put_nowait((protocol.encode_event(
-                        request_id, event.as_dict()), True, 1))
+                        request_id, event.as_dict()), True, 1, 0))
                 if (len(subscription)
                         and conn.inflight
                         >= self.policy.max_inflight_per_conn):
@@ -569,13 +594,23 @@ class Gateway:
                 item = await conn.outgoing.get()
                 if item is None:
                     return
-                frame, counts_inflight, n_frames = item
+                frame, counts_inflight, n_frames, trace_id = item
                 # Count before writing: transport.write() can push the bytes
                 # to the socket synchronously, and a client observing the
                 # reply must also observe it counted.
                 self.counters.n_frames_out += n_frames
-                conn.writer.write(frame)
-                await conn.writer.drain()
+                if trace_id:
+                    # Sampling was decided when _reply queued the item; an
+                    # unsampled reply arrives with trace id 0.
+                    t_write = time.monotonic()
+                    conn.writer.write(frame)
+                    await conn.writer.drain()
+                    self._server.tracer.emit(
+                        "gateway_write", trace_id, t_write,
+                        time.monotonic() - t_write, sampled=True)
+                else:
+                    conn.writer.write(frame)
+                    await conn.writer.drain()
                 if counts_inflight:
                     self._release_slot(conn)
                 else:

@@ -19,6 +19,8 @@ chunk size is bitwise identical.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..exceptions import ModelError
@@ -73,7 +75,8 @@ def stack_stimuli(waveforms, times: np.ndarray) -> np.ndarray:
 
 def evaluate_batch(model, inputs: np.ndarray,
                    max_chunk_bytes: int = 256 << 20,
-                   out: np.ndarray | None = None) -> np.ndarray:
+                   out: np.ndarray | None = None,
+                   timings: dict | None = None) -> np.ndarray:
     """Evaluate a :class:`~repro.runtime.compiled.CompiledModel` on a batch.
 
     Parameters
@@ -94,6 +97,14 @@ def evaluate_batch(model, inputs: np.ndarray,
         the zero-copy path of the shared-memory shard dataplane
         (:mod:`repro.serve.shards`): workers evaluate straight into their
         shared segment instead of materialising a result to pickle.
+    timings:
+        Optional dict the call **adds** its per-phase wall time into:
+        ``eval_s`` (recurrence kernel) and ``stage_out_s`` (copying chunk
+        results into ``outputs`` — for the shm dataplane, the write into
+        the shared segment).  This is how shard workers attribute their
+        stage timings without touching the tracer: the stamps ride the
+        reply descriptor and the parent materialises the spans.  ``None``
+        (the default) keeps the hot loop free of clock reads.
     """
     inputs = np.asarray(inputs, dtype=float)
     single = inputs.ndim == 1
@@ -137,9 +148,22 @@ def evaluate_batch(model, inputs: np.ndarray,
         outputs = np.empty_like(inputs)
     else:
         outputs = out[None, :] if out.ndim == 1 else out
-    for start in range(0, n_batch, chunk):
-        block = inputs[start:start + chunk]
-        outputs[start:start + chunk] = _evaluate_block(model, block)
+    if timings is None:
+        for start in range(0, n_batch, chunk):
+            block = inputs[start:start + chunk]
+            outputs[start:start + chunk] = _evaluate_block(model, block)
+    else:
+        eval_s = stage_out_s = 0.0
+        for start in range(0, n_batch, chunk):
+            block = inputs[start:start + chunk]
+            t0 = time.monotonic()
+            result = _evaluate_block(model, block)
+            t1 = time.monotonic()
+            outputs[start:start + chunk] = result
+            eval_s += t1 - t0
+            stage_out_s += time.monotonic() - t1
+        timings["eval_s"] = timings.get("eval_s", 0.0) + eval_s
+        timings["stage_out_s"] = timings.get("stage_out_s", 0.0) + stage_out_s
     return outputs[0] if single else outputs
 
 

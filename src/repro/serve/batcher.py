@@ -37,7 +37,10 @@ class ServeRequest:
     future: Future = field(default_factory=Future)
     #: Scheduler timestamps (server's monotonic clock): submission and batch
     #: closure (end of coalescing wait).  Completion is accounted by the
-    #: server at resolve time and never stored per request.
+    #: server at resolve time and never stored per request.  These two stamps
+    #: are also the span boundaries the server's tracer materialises the
+    #: ``serve_queue`` / ``serve_coalesce`` stages from — the batcher itself
+    #: stays clock-free and tracer-free; it only carries the timestamps.
     t_submit: float = 0.0
     t_closed: float = 0.0
     #: Telemetry trace id assigned by :meth:`ModelServer.submit

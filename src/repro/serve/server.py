@@ -45,6 +45,7 @@ from ..runtime.registry import ModelRegistry
 from ..telemetry.broker import TopicBroker
 from ..telemetry.events import (BatchClosed, BatchServed, CacheEvicted,
                                 RequestRejected, RequestSubmitted)
+from ..telemetry.spans import ROOT_SPAN, Tracer, TracerConfig
 from .batcher import MicroBatch, MicroBatcher, ServeRequest
 from .cache import ModelCache
 from .policy import ServePolicy
@@ -116,13 +117,18 @@ class ModelServer:
     delay_injection:
         Benchmark instrumentation forwarded to the shard pool (per-job
         worker stall in seconds, modelling remote-shard latency).
+    tracing:
+        :class:`~repro.telemetry.spans.TracerConfig` for the span tracer
+        (default: sample every trace — costs nothing until somebody
+        subscribes to the broker).
     """
 
     def __init__(self, registry: ModelRegistry | str | Path,
                  policy: ServePolicy | None = None,
                  fault_injection=None, stall_injection=None,
                  delay_injection: float = 0.0,
-                 broker: TopicBroker | None = None) -> None:
+                 broker: TopicBroker | None = None,
+                 tracing: TracerConfig | None = None) -> None:
         self.policy = policy or ServePolicy()
         self.policy.validate()
         self.registry = (registry if isinstance(registry, ModelRegistry)
@@ -132,6 +138,11 @@ class ModelServer:
         #: so every instrumentation site below guards with
         #: ``if self.telemetry:`` and publishing stays near-free unobserved.
         self.telemetry = broker if broker is not None else TopicBroker()
+        #: Span tracer over the same broker: per-stage latency attribution
+        #: keyed by trace id.  Falsy together with the broker (and when
+        #: ``tracing.sample_rate`` is 0), so untraced serving pays one
+        #: truthiness check per instrumentation site.
+        self.tracer = Tracer(self.telemetry, tracing)
         self._trace_ids = itertools.count(1)
         self._cache = ModelCache(self.policy.cache_bytes,
                                  on_evict=self._on_cache_evict)
@@ -147,7 +158,8 @@ class ModelServer:
                 fault_injection=fault_injection,
                 stall_injection=stall_injection,
                 delay_injection=delay_injection,
-                broker=self.telemetry)
+                broker=self.telemetry,
+                tracer=self.tracer)
         self._lock = lockwatch.monitored_lock("serve.server")
         self._wakeup = lockwatch.monitored_condition("serve.server", self._lock)
         self._batcher = MicroBatcher(self.policy.max_batch,
@@ -323,6 +335,10 @@ class ModelServer:
             self._n_inflight += 1
             now = time.monotonic()
             request.trace_id = next(self._trace_ids)
+            # Stamped on the future so transport layers (the gateway) can
+            # attribute their own decode/encode/write spans to this trace
+            # without a side channel.
+            request.future.trace_id = request.trace_id
             # Published before the batcher sees the request, under the same
             # lock that closes batches: a request's RequestSubmitted always
             # precedes the BatchClosed naming its trace id.
@@ -355,6 +371,7 @@ class ModelServer:
         t_started = time.monotonic()
         try:
             inputs = batch.stack()
+            t_stacked = time.monotonic()
             if self._pool is not None:
                 outputs = self._pool.evaluate(batch.key, inputs,
                                               max_workers=self._worker_share(),
@@ -366,9 +383,19 @@ class ModelServer:
                 with self._cache_lock:
                     model = self._cache.get_or_load(
                         batch.key, lambda: self.registry.load(batch.key))
+                t_eval = time.monotonic()
                 outputs = model.evaluate(inputs)
+                if self.tracer:
+                    duration = time.monotonic() - t_eval
+                    evaluated = self.tracer.batch()
+                    for trace_id in batch.trace_ids:
+                        if self.tracer.sampled(trace_id):
+                            evaluated.add("serve_evaluate", trace_id, t_eval,
+                                          duration, parent="serve_execute")
+                    evaluated.flush()
             failure = None
         except Exception as exc:   # noqa: BLE001 - must resolve the futures
+            t_stacked = t_started
             failure = (exc if isinstance(exc, ServeError)
                        else ServeError(f"batch evaluation failed: {exc!r}"))
         now = time.monotonic()
@@ -399,6 +426,28 @@ class ModelServer:
                 self._n_failed += len(batch)
                 if model is not None:
                     model.n_failed += len(batch)
+        # Span emission sits outside the lock (REP102/lockwatch clean) and
+        # before the futures resolve, mirroring the BatchServed contract: a
+        # caller returning from future.result() finds its trace complete.
+        tracer = self.tracer
+        if tracer:
+            closing = tracer.batch()
+            for request in batch.requests:
+                trace_id = request.trace_id
+                if not tracer.sampled(trace_id):
+                    continue
+                t_submit, t_closed = request.t_submit, request.t_closed
+                closing.add("serve_queue", trace_id, t_submit,
+                            t_closed - t_submit)
+                closing.add("serve_coalesce", trace_id, t_closed,
+                            t_started - t_closed)
+                closing.add("serve_dispatch", trace_id, t_started,
+                            t_stacked - t_started, parent="serve_execute")
+                closing.add("serve_execute", trace_id, t_started,
+                            now - t_started)
+                closing.add(ROOT_SPAN, trace_id, t_submit, now - t_submit,
+                            parent="")
+            closing.flush()
         # Published before the futures resolve, mirroring the accounting
         # order: a caller returning from future.result() finds its request's
         # full submit → closed → served chain already on the wire.

@@ -120,9 +120,11 @@ def _worker_main(conn, segment_name: str | None, registry_root: str,
     Shared-memory jobs arrive as ``(job_id, key, ("shm", in_off, out_off,
     shape))``: the rows live in the worker's segment at ``in_off`` and the
     kernel writes its outputs at ``out_off`` (``evaluate_batch(out=...)``),
-    so the reply pipes back only ``(job_id, True, ("shm", out_off, shape))``.
-    Oversized jobs arrive as ``(job_id, key, ("pipe", rows))`` and reply in
-    kind — the pre-dataplane transport kept as the fallback.
+    so the reply pipes back only ``(job_id, True, ("shm", out_off, shape),
+    (t_start, eval_s, stage_out_s))`` — the trailing stage stamps feed the
+    parent-materialised worker spans.  Oversized jobs arrive as ``(job_id,
+    key, ("pipe", rows))`` and reply in kind — the pre-dataplane transport
+    kept as the fallback.
 
     ``fault_keys`` is crash-injection instrumentation for the failure-path
     tests: serving a listed key terminates the process the way a segfault
@@ -154,6 +156,12 @@ def _worker_main(conn, segment_name: str | None, registry_root: str,
             if delay_s > 0.0:
                 time.sleep(delay_s)
             try:
+                # Stage stamps ride the reply descriptor as three floats
+                # (t_start, eval_s, stage_out_s) on the shared Linux
+                # CLOCK_MONOTONIC; the parent materialises the worker-side
+                # spans from them, so the worker never needs (and per
+                # REP106 must never capture) the tracer itself.
+                t_job = time.monotonic()
                 model = cache.get_or_load(
                     key, ModelHandle(registry_root, key).load)
                 if descriptor[0] == _SHM:
@@ -162,12 +170,18 @@ def _worker_main(conn, segment_name: str | None, registry_root: str,
                                       buffer=segment.buf, offset=in_off)
                     out = np.ndarray(shape, dtype=np.float64,
                                      buffer=segment.buf, offset=out_off)
-                    evaluate_batch(model, rows, out=out)
+                    stamps: dict = {}
+                    evaluate_batch(model, rows, out=out, timings=stamps)
                     del rows, out    # views must not pin segment.buf
-                    conn.send((job_id, True, (_SHM, out_off, shape)))
+                    out_s = stamps.get("stage_out_s", 0.0)
+                    eval_s = max(0.0, time.monotonic() - t_job - out_s)
+                    conn.send((job_id, True, (_SHM, out_off, shape),
+                               (t_job, eval_s, out_s)))
                 else:
                     outputs = model.evaluate(descriptor[1])
-                    conn.send((job_id, True, (_PIPE, outputs)))
+                    eval_s = time.monotonic() - t_job
+                    conn.send((job_id, True, (_PIPE, outputs),
+                               (t_job, eval_s, 0.0)))
             except Exception:   # noqa: BLE001 - workers must report, never crash
                 conn.send((job_id, False, traceback.format_exc()))
     finally:
@@ -227,16 +241,23 @@ class ShardPool:
         Optional :class:`~repro.telemetry.broker.TopicBroker` the pool
         publishes its failure-path events to (``WorkerCrashed``,
         ``JobTimedOut``, ``WorkerRespawned``); the server passes its own.
+    tracer:
+        Optional :class:`~repro.telemetry.spans.Tracer` for per-stage span
+        attribution (lease, stage-in, worker evaluate/stage-out,
+        reassembly).  Parent-side only: workers never receive it (REP106);
+        their stage timings ride the reply descriptors instead.
     """
 
     def __init__(self, registry_root, n_workers: int, cache_bytes: int = 256 << 20,
                  max_retries: int = 2, mp_context: str | None = None,
                  segment_bytes: int = 64 << 20, job_timeout: float = 0.0,
                  fault_injection=None, stall_injection=None,
-                 delay_injection: float = 0.0, broker=None) -> None:
+                 delay_injection: float = 0.0, broker=None,
+                 tracer=None) -> None:
         if n_workers < 1:
             raise ServeError("ShardPool needs at least one worker")
         self.broker = broker
+        self.tracer = tracer
         self.registry_root = str(registry_root)
         self.cache_bytes = int(cache_bytes)
         self.max_retries = int(max_retries)
@@ -456,7 +477,17 @@ class ShardPool:
         cap = inputs.shape[0]
         if max_workers is not None:
             cap = min(cap, max(1, int(max_workers)))
+        t_lease = time.monotonic()
         leased = self._acquire_workers(cap)
+        tracer = self.tracer
+        if tracer and trace_ids is not None:
+            lease_s = time.monotonic() - t_lease
+            leases = tracer.batch()
+            for trace_id in trace_ids:
+                if tracer.sampled(trace_id):
+                    leases.add("shard_lease", trace_id, t_lease, lease_s,
+                               parent="serve_execute")
+            leases.flush()
         try:
             return self._evaluate_on(leased, key, inputs, trace_ids)
         finally:
@@ -473,11 +504,31 @@ class ShardPool:
         outputs = np.empty_like(inputs)
         pending = list(range(len(slices)))
         crashes = [0] * len(slices)
+        tracer = self.tracer if (self.tracer and trace_ids is not None) \
+            else None
+        # One span batch for the whole evaluation: the parent-materialised
+        # shard/worker stages publish in a single broker hop per call
+        # instead of one per span (flushed on failure too, so the spans of
+        # crashed-then-retried attempts survive an exhausted retry budget).
+        closing = tracer.batch() if tracer is not None else None
         while pending:
             dispatched: list[tuple[int, int]] = []
             spawn_failure: int | None = None
             for job in pending:
+                t_stage = time.monotonic()
                 job_id = self._dispatch(leased[job], key, inputs[slices[job]])
+                if tracer is not None:
+                    # Stage-in covers staging the shard's rows into the
+                    # worker's segment plus the descriptor send; a retried
+                    # job re-emits it, so retry attempts show up as sibling
+                    # spans under the same parent.
+                    stage_s = time.monotonic() - t_stage
+                    for trace_id in self._shard_traces(trace_ids,
+                                                       slices[job]):
+                        if tracer.sampled(trace_id):
+                            closing.add("shard_stage_in", trace_id, t_stage,
+                                        stage_s, parent="serve_execute",
+                                        worker_index=leased[job])
                 if job_id is None:
                     spawn_failure = job
                     break
@@ -517,12 +568,30 @@ class ShardPool:
                         self.retried_jobs += 1
                     pending.append(job)
                     continue
-                _, ok, payload = reply
+                _, ok, payload = reply[:3]
                 if not ok:                  # worker-side exception: no retry
                     failure = failure or ServeError(
                         f"shard worker failed to evaluate model {key[:12]}...:"
                         f"\n{payload}")
                     continue
+                shard_traces = (tuple(
+                    trace_id
+                    for trace_id in self._shard_traces(trace_ids, slices[job])
+                    if tracer.sampled(trace_id))
+                    if tracer is not None else ())
+                if tracer is not None and len(reply) > 3:
+                    # Materialise the worker-side spans from the stamped
+                    # timings (same CLOCK_MONOTONIC, different process).
+                    t_job, eval_s, out_s = reply[3]
+                    for trace_id in shard_traces:
+                        closing.add("worker_evaluate", trace_id, t_job,
+                                    eval_s, parent="serve_execute",
+                                    worker_index=leased[job])
+                        closing.add("worker_stage_out", trace_id,
+                                    t_job + eval_s, out_s,
+                                    parent="serve_execute",
+                                    worker_index=leased[job])
+                t_reassemble = time.monotonic()
                 if payload[0] == _SHM:
                     _, out_off, shape = payload
                     segment = self._workers[leased[job]].segment
@@ -532,12 +601,23 @@ class ShardPool:
                     del view                 # must not pin segment.buf
                 else:
                     outputs[slices[job]] = payload[1]
+                if tracer is not None:
+                    reassemble_s = time.monotonic() - t_reassemble
+                    for trace_id in shard_traces:
+                        closing.add("serve_reassemble", trace_id,
+                                    t_reassemble, reassemble_s,
+                                    parent="serve_execute",
+                                    worker_index=leased[job])
             if spawn_failure is not None:
                 failure = failure or ServeError(
                     f"shard worker for rows {slices[spawn_failure]} of model "
                     f"{key[:12]}... could not be (re)started")
             if failure is not None:
+                if closing is not None:
+                    closing.flush()
                 raise failure
+        if closing is not None:
+            closing.flush()
         return outputs
 
     # ----------------------------------------------------------------- control

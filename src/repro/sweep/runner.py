@@ -23,7 +23,8 @@ import numpy as np
 from ..circuit.transient import TransientResult, transient_analysis
 from ..exceptions import ReproError
 from ..telemetry.broker import TopicBroker
-from ..telemetry.events import ScenarioCompleted, SweepCompleted, SweepStarted
+from ..telemetry.events import (EngineProfile, ScenarioCompleted,
+                                SweepCompleted, SweepStarted)
 from ..tft import SnapshotTrajectory, TFTDataset, extract_tft
 from .scenarios import Scenario, validate_scenarios
 
@@ -44,9 +45,10 @@ class SweepOptions:
     raise_on_error: bool = True
     #: Optional :class:`~repro.telemetry.TopicBroker`.  When set (and it has
     #: subscribers), the sweep publishes :class:`SweepStarted`, one
-    #: :class:`ScenarioCompleted` per finished scenario as results stream in
-    #: from the pool, and a closing :class:`SweepCompleted`.  The broker stays
-    #: in the driving process — it is never shipped to workers.
+    #: :class:`ScenarioCompleted` plus one :class:`EngineProfile` (Newton /
+    #: LTE / factorisation-cache counters) per finished scenario as results
+    #: stream in from the pool, and a closing :class:`SweepCompleted`.  The
+    #: broker stays in the driving process — it is never shipped to workers.
     broker: TopicBroker | None = None
 
 
@@ -231,6 +233,24 @@ def run_sweep(scenarios: Iterable[Scenario],
         if broker:
             broker.publish(ScenarioCompleted(name=result.name, ok=result.ok,
                                              wall_time_s=result.wall_time))
+            transient = result.transient
+            if transient is not None:
+                # Engine profile: the solver-level counters the transient
+                # accumulated (Newton work, LTE controller verdicts, LU
+                # factorisation cache economics).  Workers never see the
+                # broker — the counters ride back on the picklable result
+                # and are published here, in the driving process.
+                broker.publish(EngineProfile(
+                    name=result.name,
+                    newton_iterations=transient.newton_iterations,
+                    accepted_steps=transient.accepted_steps,
+                    rejected_steps=transient.rejected_steps,
+                    lte_rejections=transient.lte_rejections,
+                    cache_factorizations=transient.cache_factorizations,
+                    cache_reuses=transient.cache_reuses,
+                    cache_invalidations=transient.cache_invalidations,
+                    cache_hit_rate=transient.cache_hit_rate,
+                    wall_time_s=transient.wall_time))
         return result
 
     if n_workers == 1:

@@ -15,16 +15,18 @@ from .alerts import AlertManager, AlertRule, AlertState
 from .broker import Subscription, TopicBroker
 from .events import (SCHEMA_VERSION, AlertCleared, AlertRaised, BatchClosed,
                      BatchServed, CacheEvicted, ChunkStreamError,
-                     ConnectionClosed, ConnectionOpened, JobTimedOut,
-                     MetricsWindowClosed, ProtocolError, RequestRejected,
-                     RequestSubmitted, ScenarioCompleted, SweepCompleted,
-                     SweepStarted, TelemetryEvent, WorkerCrashed,
-                     WorkerRespawned, event_from_dict, event_topics,
-                     register_event)
+                     ConnectionClosed, ConnectionOpened, EngineProfile,
+                     JobTimedOut, MetricsWindowClosed, ProtocolError,
+                     RequestRejected, RequestSubmitted, ScenarioCompleted,
+                     SpanClosed, SweepCompleted, SweepStarted,
+                     TelemetryEvent, WorkerCrashed, WorkerRespawned,
+                     event_from_dict, event_topics, register_event)
 from .metrics import (MetricsAggregator, MetricsReport, ModelWindowMetrics,
                       WindowMetrics)
 from .recorder import RunRecorder
-from .runstore import ReplayRequest, RunRecord, RunStore
+from .runstore import STORE_VERSION, ReplayRequest, RunRecord, RunStore
+from .spans import (ROOT_SPAN, SpanBatch, SpanNode, TraceAssembler, Tracer,
+                    TracerConfig, describe_trace, subscribe_spans)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -52,6 +54,16 @@ __all__ = [
     "MetricsWindowClosed",
     "AlertRaised",
     "AlertCleared",
+    "SpanClosed",
+    "EngineProfile",
+    "ROOT_SPAN",
+    "Tracer",
+    "TracerConfig",
+    "SpanBatch",
+    "TraceAssembler",
+    "SpanNode",
+    "describe_trace",
+    "subscribe_spans",
     "MetricsAggregator",
     "MetricsReport",
     "ModelWindowMetrics",
@@ -60,6 +72,7 @@ __all__ = [
     "AlertRule",
     "AlertState",
     "RunStore",
+    "STORE_VERSION",
     "RunRecord",
     "RunRecorder",
     "ReplayRequest",

@@ -55,6 +55,9 @@ __all__ = [
     "MetricsWindowClosed",
     "AlertRaised",
     "AlertCleared",
+    # span tracing / engine profiling
+    "SpanClosed",
+    "EngineProfile",
 ]
 
 #: Version of the event payload layout; bumped when a field changes meaning
@@ -296,6 +299,60 @@ class SweepCompleted(TelemetryEvent):
     t: float = field(default_factory=_now)
 
 
+# ------------------------------------------------- span tracing / profiling
+@register_event
+@dataclass(frozen=True)
+class SpanClosed(TelemetryEvent):
+    """One closed span of a request's trace (a stage of its lifecycle).
+
+    Published by :class:`~repro.telemetry.spans.Tracer` when a sampled
+    span closes.  ``name`` is the stage (``serve_queue``,
+    ``worker_evaluate``, ...) — dot-free, so per-stage window metrics stay
+    addressable by :class:`~repro.telemetry.alerts.AlertRule` dotted paths
+    (``stages.worker_evaluate.p95_s``).  ``parent`` names the enclosing
+    stage (``""`` marks the trace root); stage names are unique within a
+    trace except across shard retries, where repeated attempt-stage spans
+    become **siblings** under the same parent.  ``worker_index`` is the
+    shard worker that executed a worker-side stage (``-1`` elsewhere);
+    worker stages are stamped in the reply descriptor and materialised by
+    the parent process, never published from the worker itself.
+    """
+
+    name: str
+    trace_id: int
+    t_start: float
+    duration_s: float
+    parent: str = ""
+    worker_index: int = -1
+    t: float = field(default_factory=_now)
+
+
+@register_event
+@dataclass(frozen=True)
+class EngineProfile(TelemetryEvent):
+    """Engine hot-path counters of one completed transient scenario.
+
+    Emitted by :func:`~repro.sweep.runner.run_sweep` alongside
+    ``ScenarioCompleted``, surfacing what the solver spent its time on:
+    Newton iterations, LTE accept/reject traffic, and the
+    :class:`~repro.circuit.linalg.FactorizationCache` hit/miss/invalidation
+    balance (``cache_hit_rate`` = reuses / solves, 0.0 when the cache was
+    disabled or never consulted).
+    """
+
+    name: str
+    newton_iterations: int = 0
+    accepted_steps: int = 0
+    rejected_steps: int = 0
+    lte_rejections: int = 0
+    cache_factorizations: int = 0
+    cache_reuses: int = 0
+    cache_invalidations: int = 0
+    cache_hit_rate: float = 0.0
+    wall_time_s: float = 0.0
+    t: float = field(default_factory=_now)
+
+
 # --------------------------------------------------------- metrics / alerting
 @register_event
 @dataclass(frozen=True)
@@ -308,7 +365,10 @@ class MetricsWindowClosed(TelemetryEvent):
     from the raw stream.  ``queue_latency`` / ``e2e_latency`` are
     :meth:`LatencySummary.as_dict <repro.serve.stats.LatencySummary.as_dict>`
     payloads; ``per_model`` maps model key → that model's window slice
-    (rows, batches, throughput, fill ratio, latency summaries).
+    (rows, batches, throughput, fill ratio, latency summaries); ``stages``
+    maps span stage name → that stage's window latency summary (fed by
+    ``SpanClosed`` events, addressable by alert rules as
+    ``stages.<stage>.p95_s``).
     """
 
     window_index: int
@@ -323,6 +383,7 @@ class MetricsWindowClosed(TelemetryEvent):
     queue_latency: dict = field(default_factory=dict)
     e2e_latency: dict = field(default_factory=dict)
     per_model: dict = field(default_factory=dict)
+    stages: dict = field(default_factory=dict)
     n_rejected: int = 0
     n_crashes: int = 0
     n_respawns: int = 0

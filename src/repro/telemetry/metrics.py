@@ -118,6 +118,9 @@ class WindowMetrics:
     e2e_latency: LatencySummary = _EMPTY_SUMMARY
     #: Per-model slices keyed by model key (:class:`ModelWindowMetrics`).
     per_model: dict = field(default_factory=dict)
+    #: Per-stage latency keyed by span stage name (:class:`LatencySummary`),
+    #: fed by ``SpanClosed`` events when the server's tracer is sampling.
+    stages: dict = field(default_factory=dict)
 
     @property
     def duration_s(self) -> float:
@@ -149,6 +152,8 @@ class WindowMetrics:
             queue_latency=self.queue_latency.as_dict(),
             e2e_latency=self.e2e_latency.as_dict(),
             per_model={key: m.as_dict() for key, m in self.per_model.items()},
+            stages={name: summary.as_dict()
+                    for name, summary in self.stages.items()},
             n_rejected=self.n_rejected, n_crashes=self.n_crashes,
             n_respawns=self.n_respawns, n_timeouts=self.n_timeouts,
             n_evictions=self.n_evictions,
@@ -185,6 +190,8 @@ class MetricsReport:
     e2e_latency: LatencySummary = _EMPTY_SUMMARY
     #: Merged per-model slices keyed by model key.
     per_model: dict = field(default_factory=dict)
+    #: Merged per-stage latency keyed by span stage name.
+    stages: dict = field(default_factory=dict)
     #: The closed windows the report was merged from (oldest first).
     windows: tuple = ()
 
@@ -220,6 +227,12 @@ class MetricsReport:
                     m.queue_latency for m in slices),
                 e2e_latency=LatencySummary.merge(
                     m.e2e_latency for m in slices))
+        per_stage: dict = {}
+        for window in windows:
+            for stage, summary in window.stages.items():
+                per_stage.setdefault(stage, []).append(summary)
+        merged_stages = {stage: LatencySummary.merge(summaries)
+                         for stage, summaries in per_stage.items()}
         rows = sum(m.n_rows for m in merged_models.values())
         mean_batch = (rows / totals["n_batches"]) if totals["n_batches"] else 0.0
         fill = (mean_batch / max_batch) if max_batch else 0.0
@@ -232,7 +245,8 @@ class MetricsReport:
             queue_latency=LatencySummary.merge(
                 w.queue_latency for w in windows),
             e2e_latency=LatencySummary.merge(w.e2e_latency for w in windows),
-            per_model=merged_models, windows=windows, **totals)
+            per_model=merged_models, stages=merged_stages,
+            windows=windows, **totals)
 
     def as_dict(self) -> dict:
         return {
@@ -252,6 +266,8 @@ class MetricsReport:
             "e2e_latency": self.e2e_latency.as_dict(),
             "per_model": {key: m.as_dict()
                           for key, m in self.per_model.items()},
+            "stages": {name: summary.as_dict()
+                       for name, summary in self.stages.items()},
         }
 
     def describe(self) -> str:
@@ -272,6 +288,12 @@ class MetricsReport:
                 f"{m.n_failed} failed in {m.n_batches} batch(es) "
                 f"(fill {m.fill_ratio * 100.0:.0f}%), "
                 f"e2e p95 {m.e2e_latency.p95 * 1e3:.2f} ms")
+        if self.stages:
+            ranked = sorted(self.stages.items(),
+                            key=lambda item: item[1].p95, reverse=True)
+            lines.append("  stage p95: " + ", ".join(
+                f"{name} {summary.p95 * 1e3:.2f} ms"
+                for name, summary in ranked[:6]))
         return "\n".join(lines)
 
 
@@ -296,7 +318,8 @@ class _WindowAcc:
     __slots__ = ("n_submitted", "n_served", "n_failed", "n_batches",
                  "n_rejected", "n_crashes", "n_respawns", "n_timeouts",
                  "n_evictions", "n_subscriber_dropped", "n_late",
-                 "n_unmatched", "n_events", "queue", "e2e", "models")
+                 "n_unmatched", "n_events", "queue", "e2e", "models",
+                 "stages")
 
     def __init__(self) -> None:
         for name in ("n_submitted", "n_served", "n_failed", "n_batches",
@@ -307,6 +330,7 @@ class _WindowAcc:
         self.queue: list = []
         self.e2e: list = []
         self.models: dict = {}
+        self.stages: dict = {}
 
     def model(self, key: str) -> _ModelAcc:
         acc = self.models.get(key)
@@ -337,7 +361,7 @@ class MetricsAggregator:
     #: republications are deliberately not in this set.
     TOPICS = ("RequestSubmitted", "RequestRejected", "BatchClosed",
               "BatchServed", "WorkerCrashed", "WorkerRespawned",
-              "JobTimedOut", "CacheEvicted")
+              "JobTimedOut", "CacheEvicted", "SpanClosed")
 
     def __init__(self, broker: TopicBroker | None = None,
                  window_s: float = 1.0, n_windows: int = 60,
@@ -491,7 +515,9 @@ class MetricsAggregator:
             max_batch=self.max_batch,
             queue_latency=LatencySummary.of(acc.queue),
             e2e_latency=LatencySummary.of(acc.e2e),
-            per_model=per_model)
+            per_model=per_model,
+            stages={stage: LatencySummary.of(samples)
+                    for stage, samples in acc.stages.items()})
         self._ring.append(window)
         self._index += 1
         self._acc = None
@@ -543,6 +569,9 @@ class MetricsAggregator:
                 sample = max(0.0, t - info[0])
                 acc.e2e.append(sample)
                 model.e2e.append(sample)
+        elif name == "SpanClosed":
+            acc.stages.setdefault(event.name, []).append(
+                float(event.duration_s))
         elif name == "WorkerCrashed":
             acc.n_crashes += 1
         elif name == "WorkerRespawned":

@@ -34,7 +34,15 @@ from ..checks import lockwatch
 from ..exceptions import RunStoreError
 from .events import TelemetryEvent
 
-__all__ = ["ReplayRequest", "RunRecord", "RunStore"]
+__all__ = ["ReplayRequest", "RunRecord", "RunStore", "STORE_VERSION"]
+
+#: On-disk schema version, tracked in sqlite's ``user_version`` pragma.
+#: 0/1 are the pre-spans layouts (PR 7/9 — ``user_version`` was never set);
+#: 2 added the ``spans`` table.  Older files migrate transparently (every
+#: change so far is additive); files stamped **newer** than this build
+#: refuse to open with a :class:`~repro.exceptions.RunStoreError` naming
+#: both versions.
+STORE_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -59,8 +67,20 @@ CREATE TABLE IF NOT EXISTS snapshots (
     t           REAL NOT NULL,
     stats       TEXT NOT NULL
 );
+CREATE TABLE IF NOT EXISTS spans (
+    span_id      INTEGER PRIMARY KEY AUTOINCREMENT,
+    run_id       INTEGER NOT NULL REFERENCES runs(run_id),
+    trace_id     INTEGER NOT NULL DEFAULT 0,
+    name         TEXT NOT NULL,
+    parent       TEXT NOT NULL DEFAULT '',
+    t_start      REAL NOT NULL,
+    duration_s   REAL NOT NULL,
+    worker_index INTEGER NOT NULL DEFAULT -1,
+    payload      TEXT NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_events_run ON events(run_id, event_id);
 CREATE INDEX IF NOT EXISTS idx_snapshots_run ON snapshots(run_id, snapshot_id);
+CREATE INDEX IF NOT EXISTS idx_spans_run ON spans(run_id, trace_id, span_id);
 """
 
 
@@ -115,12 +135,30 @@ class RunStore:
             self._db = sqlite3.connect(self.path, check_same_thread=False)
             # Exercise the file now: sqlite3.connect is lazy, so a garbage
             # file would otherwise only fail on first query deep in a caller.
+            found = int(self._db.execute(
+                "PRAGMA user_version").fetchone()[0])
+            if found > STORE_VERSION:
+                self._db.close()
+                raise RunStoreError(
+                    f"run store at {self.path!r} has schema version {found}, "
+                    f"newer than this build's version {STORE_VERSION} — "
+                    "refusing to open (open it with the build that wrote it)")
+            # Older layouts (pre-spans: user_version 0/1) migrate
+            # transparently: every schema change so far is additive, so
+            # running the idempotent CREATE IF NOT EXISTS script *is* the
+            # migration; the version stamp records that it happened.
             self._db.executescript(_SCHEMA)
+            self._db.execute(f"PRAGMA user_version = {STORE_VERSION}")
             self._db.commit()
         except sqlite3.DatabaseError as exc:
             raise RunStoreError(
                 f"cannot open run store at {self.path!r}: {exc}") from exc
         self._closed = False
+
+    @property
+    def schema_version(self) -> int:
+        """The store's on-disk schema version (always current once open)."""
+        return STORE_VERSION
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
@@ -194,45 +232,62 @@ class RunStore:
 
     # --------------------------------------------------------------- journal
     def record_event(self, run_id: int, event) -> None:
-        """Journal one broker event (typed event or ``as_dict`` payload)."""
-        if isinstance(event, TelemetryEvent):
-            payload = event.as_dict()
-        else:
-            payload = dict(event)
-        t = float(payload.get("t", 0.0))
-        trace_id = int(payload.get("trace_id", 0))
-        with self._lock:
-            self._execute(
-                "INSERT INTO events (run_id, t, kind, trace_id, payload) "
-                "VALUES (?, ?, ?, ?, ?)",
-                (run_id, t, str(payload.get("event", "")), trace_id,
-                 _canonical(payload)))
-            self._db.commit()
+        """Journal one broker event (typed event or ``as_dict`` payload).
+
+        ``SpanClosed`` payloads are routed to the dedicated ``spans``
+        table; everything else lands in ``events``.
+        """
+        self.record_events(run_id, (event,))
+
+    @staticmethod
+    def _span_row(run_id: int, payload: dict) -> tuple:
+        return (run_id, int(payload.get("trace_id", 0)),
+                str(payload.get("name", "")),
+                str(payload.get("parent", "")),
+                float(payload.get("t_start", 0.0)),
+                float(payload.get("duration_s", 0.0)),
+                int(payload.get("worker_index", -1)),
+                _canonical(payload))
 
     def record_events(self, run_id: int, events) -> int:
-        """Journal a batch of events in one transaction; returns the count."""
-        rows = []
+        """Journal a batch of events in one transaction; returns the count.
+
+        ``SpanClosed`` payloads split off into the ``spans`` table (same
+        transaction), so a recorded run keeps its trace spans queryable
+        by ``(run_id, trace_id)`` instead of buried in the event journal.
+        """
+        rows, span_rows = [], []
         for event in events:
             payload = event.as_dict() if isinstance(event, TelemetryEvent) \
                 else dict(event)
+            if payload.get("event") == "SpanClosed":
+                span_rows.append(self._span_row(run_id, payload))
+                continue
             rows.append((run_id, float(payload.get("t", 0.0)),
                          str(payload.get("event", "")),
                          int(payload.get("trace_id", 0)),
                          _canonical(payload)))
-        if not rows:
+        if not rows and not span_rows:
             return 0
         with self._lock:
             if self._closed:
                 raise RunStoreError(f"run store at {self.path!r} is closed")
             try:
-                self._db.executemany(
-                    "INSERT INTO events (run_id, t, kind, trace_id, payload) "
-                    "VALUES (?, ?, ?, ?, ?)", rows)
+                if rows:
+                    self._db.executemany(
+                        "INSERT INTO events "
+                        "(run_id, t, kind, trace_id, payload) "
+                        "VALUES (?, ?, ?, ?, ?)", rows)
+                if span_rows:
+                    self._db.executemany(
+                        "INSERT INTO spans (run_id, trace_id, name, parent, "
+                        "t_start, duration_s, worker_index, payload) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?, ?)", span_rows)
                 self._db.commit()
             except sqlite3.DatabaseError as exc:
                 raise RunStoreError(
                     f"run store at {self.path!r} failed: {exc}") from exc
-        return len(rows)
+        return len(rows) + len(span_rows)
 
     def record_snapshot(self, run_id: int, stats: dict,
                         t: float | None = None) -> None:
@@ -278,6 +333,22 @@ class RunStore:
         """Journaled event payloads of a run in record order (materialised
         convenience over :meth:`iter_events`)."""
         return list(self.iter_events(run_id, kind=kind))
+
+    def spans(self, run_id: int, trace_id: int | None = None) -> list[dict]:
+        """Journaled ``SpanClosed`` payloads of a run, in record order.
+
+        Optionally narrowed to one trace — the shape
+        :class:`~repro.telemetry.spans.TraceAssembler` rebuilds trees from.
+        """
+        sql = "SELECT payload FROM spans WHERE run_id = ?"
+        params: tuple = (run_id,)
+        if trace_id is not None:
+            sql += " AND trace_id = ?"
+            params += (trace_id,)
+        sql += " ORDER BY span_id"
+        with self._lock:
+            rows = self._execute(sql, params).fetchall()
+        return [json.loads(r[0]) for r in rows]
 
     def snapshots(self, run_id: int) -> list[dict]:
         """Journaled stats snapshots of a run in record order."""

@@ -1,0 +1,464 @@
+"""Hierarchical span tracing keyed to the serving stack's trace ids.
+
+PR 9's windowed metrics answer *how slow* a request was; this module
+answers *where the time went*.  A :class:`Tracer` hangs off the server's
+:class:`~repro.telemetry.broker.TopicBroker` and records **spans** — named,
+timed stages of one request's lifecycle, keyed by the trace id that already
+rides submit → batch → shard → reply.  Closed spans publish as ordinary
+:class:`~repro.telemetry.events.SpanClosed` events, so they reach every
+existing consumer unchanged: the gateway's ``EVENTS_SUBSCRIBE`` wire, the
+:class:`~repro.telemetry.metrics.MetricsAggregator` (per-stage ``stages``
+window section), and the :class:`~repro.telemetry.runstore.RunStore`
+journal (dedicated ``spans`` table).
+
+Design points:
+
+* **falsy off switch** — like the broker itself, ``bool(tracer)`` is False
+  while the broker has no subscriber (or ``sample_rate`` is 0), so hot
+  paths pay one truthiness check and nothing else;
+* **head-based sampling** — the keep/drop decision is made once per trace
+  id by a seeded hash (:meth:`Tracer.sampled`), deterministically, so a
+  sampled-out trace produces **zero** spans across every layer and tests
+  can pin the decision;
+* **two recording forms** — ``with tracer.span(name, trace_id):`` for
+  stages that wrap live code (REP107 enforces the ``with``), and
+  :meth:`Tracer.emit` for stages whose boundaries were captured as plain
+  timestamps (batcher queue times, worker reply-descriptor stamps) —
+  shard workers never see the tracer (REP106); the parent materialises
+  their spans from the stamped timings;
+* **name-linked hierarchy** — a span names its ``parent`` stage instead of
+  carrying a pointer, so spans can close in any order on any thread and
+  :class:`TraceAssembler` still rebuilds the tree; retried shard attempts
+  repeat a stage name and become siblings.
+
+:func:`describe_trace` renders one assembled trace as a terminal
+waterfall; :meth:`TraceAssembler.critical_path` walks the tree picking the
+latest-ending child at every level — the chain a latency fix must shorten.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+from dataclasses import dataclass, field
+
+from .broker import TopicBroker
+from .events import SpanClosed
+
+__all__ = [
+    "ROOT_SPAN",
+    "SpanBatch",
+    "SpanNode",
+    "Tracer",
+    "TracerConfig",
+    "TraceAssembler",
+    "describe_trace",
+    "subscribe_spans",
+]
+
+#: Stage name of every trace's root span (the end-to-end request).
+ROOT_SPAN = "request"
+
+#: Knuth multiplicative-hash constant for the sampling decision.
+_HASH_MULT = 2654435761
+
+
+@dataclass(frozen=True)
+class TracerConfig:
+    """Sampling policy of a :class:`Tracer`.
+
+    ``sample_rate`` is the kept fraction of traces in [0, 1]; the per-trace
+    decision is a pure function of ``(seed, trace_id)``, so two tracers
+    with the same config agree on every trace and tests can choose seeds
+    that keep (or drop) specific ids deterministically.
+    """
+
+    sample_rate: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sample_rate <= 1.0:
+            raise ValueError(
+                f"sample_rate must be within [0, 1], got {self.sample_rate}")
+
+
+class _NullSpan:
+    """The no-op span handed out for unsampled traces (shared singleton)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: times ``__enter__`` → ``__exit__``, publishes on close."""
+
+    __slots__ = ("_tracer", "name", "trace_id", "parent", "worker_index",
+                 "t_start")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: int,
+                 parent: str, worker_index: int) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.parent = parent
+        self.worker_index = worker_index
+        self.t_start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.t_start = time.monotonic()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._tracer.emit(self.name, self.trace_id, self.t_start,
+                          time.monotonic() - self.t_start,
+                          parent=self.parent,
+                          worker_index=self.worker_index,
+                          sampled=True)
+
+
+class Tracer:
+    """Low-overhead span recorder over a :class:`TopicBroker`.
+
+    Falsy while tracing cannot go anywhere (no broker subscriber) or is
+    switched off (``sample_rate`` 0) — instrumentation sites guard with
+    ``if tracer:`` exactly like event publication guards with
+    ``if broker:``, so the untraced hot path pays one attribute check.
+    """
+
+    __slots__ = ("_broker", "config")
+
+    def __init__(self, broker: TopicBroker,
+                 config: TracerConfig | None = None) -> None:
+        self._broker = broker
+        self.config = config or TracerConfig()
+
+    def __bool__(self) -> bool:
+        return bool(self._broker) and self.config.sample_rate > 0.0
+
+    def sampled(self, trace_id: int) -> bool:
+        """The head-based keep/drop decision for one trace (deterministic)."""
+        rate = self.config.sample_rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        mixed = (int(trace_id) * _HASH_MULT + self.config.seed) & 0xFFFFFFFF
+        mixed ^= mixed >> 16
+        mixed = (mixed * 0x45D9F3B) & 0xFFFFFFFF
+        mixed ^= mixed >> 16
+        return mixed < rate * 4294967296.0
+
+    def span(self, name: str, trace_id: int, parent: str = ROOT_SPAN,
+             worker_index: int = -1):
+        """A context manager timing one stage of ``trace_id``.
+
+        Must be used as ``with tracer.span(...):`` — REP107 flags orphan
+        calls.  Returns a shared no-op for unsampled traces, so the drop
+        path allocates nothing.
+        """
+        if not (self and self.sampled(trace_id)):
+            return _NULL_SPAN
+        return _Span(self, name, trace_id, parent, worker_index)
+
+    def emit(self, name: str, trace_id: int, t_start: float,
+             duration_s: float, parent: str = ROOT_SPAN,
+             worker_index: int = -1, sampled: bool | None = None) -> None:
+        """Materialise a span whose boundaries were captured elsewhere.
+
+        This is how timestamp-derived stages (batcher queue times) and
+        worker-stamped stages (reply-descriptor timings) enter the trace
+        without the recording site holding an open context manager — and
+        without shard workers ever touching the tracer.
+        """
+        if sampled is None:
+            if not (self and self.sampled(trace_id)):
+                return
+        elif not sampled:
+            return
+        self._broker.publish(SpanClosed(
+            name=name, trace_id=int(trace_id), t_start=float(t_start),
+            duration_s=max(0.0, float(duration_s)), parent=parent,
+            worker_index=int(worker_index)))
+
+    def batch(self) -> "SpanBatch":
+        """A collector that publishes many spans in one broker hop.
+
+        The resolve path closes several spans per request; emitting them
+        one at a time pays a subscriber-queue lock hop each.  A batch
+        gathers them and hands the lot to
+        :meth:`~repro.telemetry.broker.TopicBroker.publish_many` on
+        :meth:`SpanBatch.flush`.
+        """
+        return SpanBatch(self)
+
+
+class SpanBatch:
+    """Accumulates materialised spans for one bulk publish.
+
+    Callers are responsible for the sampling decision (everything added is
+    published verbatim) — the pattern is one :meth:`Tracer.sampled` check
+    per trace, then :meth:`add` for each of its spans, then one
+    :meth:`flush` after the loop, **outside any lock** (REP107 applies to
+    span traffic exactly as to single emits).
+    """
+
+    __slots__ = ("_tracer", "_events")
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._events: list[SpanClosed] = []
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def add(self, name: str, trace_id: int, t_start: float,
+            duration_s: float, parent: str = ROOT_SPAN,
+            worker_index: int = -1) -> None:
+        self._events.append(SpanClosed(
+            name=name, trace_id=int(trace_id), t_start=float(t_start),
+            duration_s=max(0.0, float(duration_s)), parent=parent,
+            worker_index=int(worker_index)))
+
+    def flush(self) -> None:
+        if self._events:
+            self._tracer._broker.publish_many(self._events)
+            self._events = []
+
+
+# --------------------------------------------------------------- assembly
+
+@dataclass
+class SpanNode:
+    """One span inside an assembled trace tree."""
+
+    name: str
+    trace_id: int
+    t_start: float
+    duration_s: float
+    parent: str = ""
+    worker_index: int = -1
+    children: list = field(default_factory=list)
+
+    @property
+    def t_end(self) -> float:
+        return self.t_start + self.duration_s
+
+    def walk(self):
+        """This node, then every descendant (pre-order)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def _as_span_fields(item) -> dict:
+    """Normalise a SpanClosed event / payload dict to constructor kwargs."""
+    if isinstance(item, SpanClosed):
+        payload = item.as_dict()
+    else:
+        payload = item
+    return {
+        "name": str(payload["name"]),
+        "trace_id": int(payload.get("trace_id", 0)),
+        "t_start": float(payload.get("t_start", 0.0)),
+        "duration_s": float(payload.get("duration_s", 0.0)),
+        "parent": str(payload.get("parent", "")),
+        "worker_index": int(payload.get("worker_index", -1)),
+    }
+
+
+class TraceAssembler:
+    """Rebuild per-trace span trees from a ``SpanClosed`` stream.
+
+    Feed it events (typed or ``as_dict`` payloads) in any order;
+    :meth:`tree` links children to parents **by stage name** within one
+    trace.  When a parent stage appears more than once (retried shard
+    attempts), a child attaches to the instance whose time window contains
+    its start, falling back to the last-started instance — so retry spans
+    land under the attempt that produced them and nothing is orphaned.
+    """
+
+    def __init__(self) -> None:
+        self._spans: dict[int, list[SpanNode]] = {}
+
+    def add(self, item) -> None:
+        """Ingest one span (ignores any non-``SpanClosed`` payload)."""
+        if isinstance(item, dict) and item.get("event") != "SpanClosed":
+            return
+        if not isinstance(item, (dict, SpanClosed)):
+            return
+        node = SpanNode(**_as_span_fields(item))
+        self._spans.setdefault(node.trace_id, []).append(node)
+
+    def extend(self, items) -> None:
+        for item in items:
+            self.add(item)
+
+    def trace_ids(self) -> tuple[int, ...]:
+        return tuple(sorted(self._spans))
+
+    def spans(self, trace_id: int) -> list[SpanNode]:
+        """Every recorded span of a trace, in start order (flat)."""
+        return sorted(self._spans.get(trace_id, ()),
+                      key=lambda node: node.t_start)
+
+    def tree(self, trace_id: int) -> SpanNode | None:
+        """The trace's span tree rooted at :data:`ROOT_SPAN` (or None).
+
+        Built fresh on every call from the flat span list, so late spans
+        (a gateway write landing after the root closed) slot in on the
+        next call.  A span naming an absent parent attaches to the root —
+        a visible mis-parenting beats a silently dropped span.
+        """
+        recorded = self.spans(trace_id)
+        if not recorded:
+            return None
+        nodes = [SpanNode(name=s.name, trace_id=s.trace_id,
+                          t_start=s.t_start, duration_s=s.duration_s,
+                          parent=s.parent, worker_index=s.worker_index)
+                 for s in recorded]
+        by_name: dict[str, list[SpanNode]] = {}
+        for node in nodes:
+            by_name.setdefault(node.name, []).append(node)
+        roots = by_name.get(ROOT_SPAN)
+        root = roots[0] if roots else None
+        orphans = []
+        for node in nodes:
+            if node is root:
+                continue
+            candidates = by_name.get(node.parent)
+            if candidates is None or node in candidates:
+                orphans.append(node)
+                continue
+            chosen = None
+            for candidate in candidates:
+                if candidate.t_start <= node.t_start <= candidate.t_end:
+                    chosen = candidate
+                    break
+            if chosen is None:
+                started_before = [c for c in candidates
+                                  if c.t_start <= node.t_start]
+                chosen = max(started_before, key=lambda c: c.t_start) \
+                    if started_before else candidates[0]
+            chosen.children.append(node)
+        if root is None:
+            # Rootless trace (root span lost): synthesise one covering the
+            # recorded extent so the tree is still renderable.
+            root = SpanNode(name=ROOT_SPAN, trace_id=trace_id,
+                            t_start=nodes[0].t_start,
+                            duration_s=max(n.t_end for n in nodes)
+                            - nodes[0].t_start)
+        for node in orphans:
+            root.children.append(node)
+        for node in nodes:
+            node.children.sort(key=lambda child: child.t_start)
+        root.children.sort(key=lambda child: child.t_start)
+        return root
+
+    def complete(self, trace_id: int) -> bool:
+        """True when the trace recorded its own root span."""
+        return any(node.name == ROOT_SPAN
+                   for node in self._spans.get(trace_id, ()))
+
+    def critical_path(self, trace_id: int) -> list[SpanNode]:
+        """Root-to-leaf chain through the latest-ending child per level.
+
+        The stage sequence whose durations bound the trace's end-to-end
+        latency: shortening any other branch cannot move the finish line.
+        """
+        root = self.tree(trace_id)
+        if root is None:
+            return []
+        path = [root]
+        node = root
+        while node.children:
+            node = max(node.children, key=lambda child: child.t_end)
+            path.append(node)
+        return path
+
+    def stage_totals(self, trace_id: int) -> dict[str, float]:
+        """Summed duration per stage name (retry attempts accumulate)."""
+        totals: dict[str, float] = {}
+        for node in self._spans.get(trace_id, ()):
+            totals[node.name] = totals.get(node.name, 0.0) + node.duration_s
+        return totals
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.1f} µs"
+
+
+def describe_trace(assembler: TraceAssembler, trace_id: int,
+                   width: int = 48) -> str:
+    """Render one trace as an indented terminal waterfall.
+
+    One line per span, indented by tree depth, with a bar positioned on
+    the root's timeline — stages on the critical path are marked ``*``::
+
+        trace 7 — 11 spans, e2e 12.431 ms
+        request                 12.431 ms |################################| *
+          serve_queue            1.204 ms |###.............................|
+          serve_execute         10.807 ms |...###########################..| *
+            worker_evaluate      9.112 ms |....######################......| *
+    """
+    root = assembler.tree(trace_id)
+    if root is None:
+        return f"trace {trace_id} — no spans recorded"
+    span = max(root.duration_s, 1e-12)
+    # Walk the critical path on THIS tree: critical_path() would rebuild a
+    # fresh one whose node identities never match the nodes rendered here.
+    critical = set()
+    node = root
+    while True:
+        critical.add(id(node))
+        if not node.children:
+            break
+        node = max(node.children, key=lambda child: child.t_end)
+    n_spans = len(assembler.spans(trace_id))
+    lines = [f"trace {trace_id} — {n_spans} spans, "
+             f"e2e {root.duration_s * 1e3:.3f} ms"]
+
+    def _render(node: SpanNode, depth: int) -> None:
+        lo = (node.t_start - root.t_start) / span
+        hi = (node.t_end - root.t_start) / span
+        left = min(width, max(0, int(round(lo * width))))
+        right = min(width, max(left + 1, int(round(hi * width))))
+        bar = "." * left + "#" * (right - left) + "." * (width - right)
+        label = "  " * depth + node.name
+        worker = f" w{node.worker_index}" if node.worker_index >= 0 else ""
+        mark = " *" if id(node) in critical else ""
+        lines.append(f"{label:<26} {_format_duration(node.duration_s)} "
+                     f"|{bar}|{worker}{mark}")
+        for child in node.children:
+            _render(child, depth + 1)
+
+    _render(root, 0)
+    return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def subscribe_spans(broker: TopicBroker, maxsize: int = 65536):
+    """Context manager: a :class:`TraceAssembler` fed from ``broker``.
+
+    Convenience for tests and tools: subscribes to the ``SpanClosed``
+    topic and yields ``(assembler, subscription)``; callers drain the
+    subscription into the assembler whenever they want a current view,
+    and exit drains whatever is still queued.
+    """
+    assembler = TraceAssembler()
+    with broker.subscribe(topics=("SpanClosed",), maxsize=maxsize) as sub:
+        try:
+            yield assembler, sub
+        finally:
+            assembler.extend(sub.drain())

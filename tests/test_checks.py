@@ -282,6 +282,61 @@ def test_rep106_good_fixture_clean():
     """) == []
 
 
+# ----------------------------------------------------------------- REP107
+
+
+def test_rep107_flags_orphan_span_call():
+    hits = rule_hits("REP107", """
+        def handler(tracer, trace_id):
+            span = tracer.span("serve_queue", trace_id)
+            do_work()
+    """)
+    assert len(hits) == 1 and "context" in hits[0].message
+
+
+def test_rep107_flags_span_traffic_under_lock():
+    hits = rule_hits("REP107", """
+        def serve(self, trace_id):
+            with self._lock:
+                self.tracer.emit("serve_queue", trace_id, 0.0, 1.0)
+            with self._lock:
+                with self.tracer.span("serve_execute", trace_id):
+                    step()
+    """)
+    assert len(hits) == 2
+    assert "emit" in hits[0].message and "span" in hits[1].message
+
+
+def test_rep107_good_fixture_clean():
+    assert rule_hits("REP107", """
+        def serve(self, trace_id):
+            with self._lock:
+                t_closed = self.now()
+            with self.tracer.span("serve_execute", trace_id):
+                step()
+            self.tracer.emit("serve_queue", trace_id, 0.0, t_closed)
+    """) == []
+
+
+def test_rep107_ignores_non_tracer_receivers():
+    # `span` on something that is not a tracer (an assembler, a layout
+    # object) is somebody else's API, not an orphan trace span.
+    assert rule_hits("REP107", """
+        def layout(grid):
+            cell = grid.span(2, 3)
+            return cell
+    """) == []
+
+
+def test_rep107_pragma_suppresses_with_reason():
+    assert rule_hits("REP107", """
+        def handler(tracer, trace_id):
+            # repro: allow[REP107] span handle passed to a test harness
+            span = tracer.span("serve_queue", trace_id)
+            return span
+    """) == []
+
+
 # ----------------------------------------------------- pragmas and REP100
 
 
@@ -356,7 +411,7 @@ def test_cli_list_rules(capsys):
     assert checks_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("REP101", "REP102", "REP103", "REP104", "REP105",
-                    "REP106"):
+                    "REP106", "REP107"):
         assert rule_id in out
 
 
@@ -384,7 +439,7 @@ def test_cli_json_mode(tmp_path, capsys):
     assert checks_main(["--json", "--list-rules"]) == 0
     rules = json.loads(capsys.readouterr().out)["rules"]
     assert set(rules) >= {"REP101", "REP102", "REP103", "REP104", "REP105",
-                          "REP106"}
+                          "REP106", "REP107"}
     assert all(doc for doc in rules.values())
 
 
